@@ -1,0 +1,51 @@
+"""Benchmark suite configuration.
+
+Each benchmark regenerates one table/figure of the paper's evaluation:
+it runs the experiment in the calibrated discrete-event model, prints
+the same rows/series the paper reports, dumps JSON under
+``benchmarks/results/``, and asserts the figure's *shape* (orderings,
+ratios, crossovers).  pytest-benchmark wraps each regeneration so the
+wall-clock cost of the harness itself is also tracked.
+
+``REPRO_BENCH_SCALE`` scales record/operation counts; the default for
+the benchmark suite is 0.5 (5 k records — a compromise between
+sampling noise and wall-clock).  Set it to 1.0 to match the README's
+reference numbers exactly, or lower for a quick smoke run.
+"""
+
+import os
+
+import pytest
+
+os.environ.setdefault("REPRO_BENCH_SCALE", "0.5")
+
+
+@pytest.fixture()
+def regenerate(benchmark):
+    """Run an experiment under pytest-benchmark, once."""
+
+    def runner(experiment, *args, **kwargs):
+        return benchmark.pedantic(
+            experiment, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner
+
+
+def emit(*figures) -> None:
+    """Print and persist each figure's data.
+
+    Besides the per-figure JSON, rendered tables are appended to
+    ``benchmarks/results/figures.txt`` so they remain readable even
+    when pytest captures stdout.
+    """
+    from repro.bench.report import results_dir, save_figure
+
+    for figure in figures:
+        rendered = figure.render()
+        print()
+        print(rendered)
+        path = save_figure(figure)
+        print(f"  [saved {os.path.relpath(path)}]")
+        with open(os.path.join(results_dir(), "figures.txt"), "a") as handle:
+            handle.write(rendered + "\n\n")

@@ -1,0 +1,49 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not figures from the paper — these quantify the mechanisms the paper
+credits for its performance: the asynchronous syscall interface
+(§4.6), the in-enclave cache regions (§4.2), and staying within the
+EPC (§2.1/§4.2).
+"""
+
+from benchmarks.conftest import emit
+from repro.bench.experiments import (
+    ablation_caches,
+    ablation_epc,
+    ablation_ssd,
+    ablation_syscalls,
+)
+
+
+def test_async_syscalls_win(regenerate):
+    figure = regenerate(ablation_syscalls)
+    emit(figure)
+    async_rate = figure.throughput_of("sgx-sim", "async")
+    sync_rate = figure.throughput_of("sgx-sim-sync", "sync")
+    # Trap-per-call syscalls cost a large fraction of peak throughput.
+    assert sync_rate < 0.85 * async_rate
+
+
+def test_caches_win(regenerate):
+    figure = regenerate(ablation_caches)
+    emit(figure)
+    with_caches = figure.throughput_of("sgx-sim-paper-budgets", "paper-budgets")
+    without = figure.throughput_of("sgx-sim-minimal", "minimal")
+    assert without < with_caches
+
+
+def test_ssd_tier_lifts_disk_backend(regenerate):
+    figure = regenerate(ablation_ssd)
+    emit(figure)
+    without = figure.throughput_of("sgx-disk-no-ssd", "no-ssd")
+    with_ssd = figure.throughput_of("sgx-disk-with-ssd", "with-ssd")
+    # The tier absorbs read misses that otherwise hit the HDDs.
+    assert with_ssd > 1.10 * without
+
+
+def test_epc_overflow_costs(regenerate):
+    figure = regenerate(ablation_epc)
+    emit(figure)
+    fits = figure.throughput_of("sgx-sim", "fits-epc")
+    overflows = figure.throughput_of("sgx-sim-paging", "overflows-epc")
+    assert overflows < 0.99 * fits

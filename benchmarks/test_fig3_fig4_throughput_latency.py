@@ -1,0 +1,44 @@
+"""Fig. 3 + Fig. 4: throughput and latency vs number of clients.
+
+Paper: native-sim peaks ~95 kIOP/s; Pesos-sim ~85 kIOP/s (>=85% of
+native); the Kinetic HDDs saturate around 1,080 IOP/s with latency
+within ~5% of native before overload, then growing linearly.
+"""
+
+from benchmarks.conftest import emit
+from repro.bench.experiments import fig3_fig4
+
+
+def test_fig3_fig4(regenerate):
+    fig3, fig4 = regenerate(fig3_fig4)
+    emit(fig3, fig4)
+
+    native_peak = fig3.peak("native-sim")
+    pesos_peak = fig3.peak("sgx-sim")
+
+    # Native wins, but Pesos stays within 85% of it (the headline).
+    assert pesos_peak <= native_peak
+    assert pesos_peak >= 0.82 * native_peak
+    # Peaks land in the right decade (tens of kIOP/s vs the simulator).
+    assert 60_000 < native_peak < 140_000
+
+    # Real disks are orders of magnitude slower and SGX-insensitive.
+    disk_native = fig3.peak("native-disk")
+    disk_pesos = fig3.peak("sgx-disk")
+    assert disk_native < native_peak / 20
+    assert 600 < disk_pesos < 2_000
+    assert abs(disk_pesos - disk_native) / disk_native < 0.15
+
+    # Latency (Fig. 4): flat-ish before saturation, then queueing.
+    def latency_at(series, clients):
+        for x, result in fig4.series[series]:
+            if x == clients:
+                return result.mean_latency
+        raise KeyError(clients)
+
+    assert latency_at("sgx-sim", 20) < 2e-3  # sub-2ms pre-saturation
+    assert latency_at("sgx-sim", 300) > 2 * latency_at("sgx-sim", 20)
+    # SGX impact on latency is small before overload (paper: within 5%).
+    assert latency_at("sgx-sim", 20) < 1.25 * latency_at("native-sim", 20)
+    # Disk latency exceeds sim latency at every load level.
+    assert latency_at("sgx-disk", 20) > 5 * latency_at("sgx-sim", 20)

@@ -1,0 +1,30 @@
+"""Fig. 6: payload-size sweep at 100 clients.
+
+Paper: ~105 kIOP/s at 128 B, gradual decline beyond 256 B as larger
+objects amortize per-request costs but saturate the I/O paths; Pesos
+stays close to native for small objects.
+"""
+
+from benchmarks.conftest import emit
+from repro.bench.experiments import fig6_payload
+
+
+def test_fig6(regenerate):
+    figure = regenerate(fig6_payload)
+    emit(figure)
+
+    for series in ("native-sim", "sgx-sim"):
+        small = figure.throughput_of(series, 128)
+        medium = figure.throughput_of(series, 1024)
+        huge = figure.throughput_of(series, 65536)
+        # Throughput decreases monotonically-ish with payload size.
+        assert small > medium > huge
+        # 64 KB objects are I/O-bound: at least 4x below the 128 B rate.
+        assert huge < small / 4
+
+    # Pesos overhead stays moderate for small objects (paper: <=4%;
+    # allow slack for sampling noise at reduced scale).
+    for size in (128, 256, 512, 1024, 2048):
+        native = figure.throughput_of("native-sim", size)
+        pesos = figure.throughput_of("sgx-sim", size)
+        assert pesos >= 0.85 * native, (size, pesos / native)

@@ -1,0 +1,29 @@
+"""Fig. 7: replicating every object onto all disks.
+
+Paper: native loses ~12% of throughput per added replica; Pesos drops
+~30% from one to two disks and ~13% per disk after that (the enclave
+pays per-replica coordination costs).
+"""
+
+from benchmarks.conftest import emit
+from repro.bench.experiments import fig7_replication
+
+
+def test_fig7(regenerate):
+    figure = regenerate(fig7_replication)
+    emit(figure)
+
+    native = [figure.throughput_of("native-sim", n) for n in (1, 2, 3, 4)]
+    pesos = [figure.throughput_of("sgx-sim", n) for n in (1, 2, 3, 4)]
+
+    # Monotone decline for both.
+    assert native[0] > native[1] > native[2] > native[3]
+    assert pesos[0] > pesos[1] > pesos[2] > pesos[3]
+
+    native_first_drop = 1 - native[1] / native[0]
+    pesos_first_drop = 1 - pesos[1] / pesos[0]
+    # Native's per-replica cost is mild (paper ~12%).
+    assert 0.03 < native_first_drop < 0.25, native_first_drop
+    # Pesos pays clearly more on the first replica (paper ~30%).
+    assert pesos_first_drop > native_first_drop + 0.05
+    assert 0.15 < pesos_first_drop < 0.45, pesos_first_drop

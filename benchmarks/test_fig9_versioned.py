@@ -1,0 +1,29 @@
+"""Fig. 9: the versioned-storage use case.
+
+Paper: Pesos reaches 82 kIOP/s with the version policy vs 84 kIOP/s
+without policy checking — ~2.3% overhead.
+"""
+
+from benchmarks.conftest import emit
+from repro.bench.experiments import fig9_versioned
+
+
+def test_fig9(regenerate):
+    figure = regenerate(fig9_versioned)
+    emit(figure)
+
+    def peak(series):
+        return figure.peak(series)
+
+    for mode in ("native", "sgx"):
+        versioned = peak(f"{mode}-versioned")
+        baseline = peak(f"{mode}-baseline")
+        overhead = 1 - versioned / baseline
+        # Versioning costs something, but stays single-digit percent
+        # (paper: 2.3%).
+        assert 0.0 <= overhead < 0.12, (mode, overhead)
+
+    # The ordering of the four lines matches the paper: native above
+    # pesos, baselines above versioned.
+    assert peak("native-baseline") >= peak("sgx-baseline")
+    assert peak("native-versioned") >= peak("sgx-versioned")

@@ -1,0 +1,56 @@
+"""§6.1 claim: "we found that the results were similar in each case".
+
+The paper only plots YCSB-A because workloads A-D gave similar
+results.  This benchmark checks that claim holds in the reproduction:
+peak Pesos throughput across the four stock workloads stays within a
+moderate band (read-heavier workloads are somewhat faster, since
+reads move less data to the drives).
+"""
+
+from benchmarks.conftest import emit
+from repro.bench.configs import make_config
+from repro.bench.harness import build_system, run_point
+from repro.bench.report import FigureResult
+from repro.bench.experiments import _measure_ops, _scaled, OPEN_POLICY
+from repro.ycsb.workload import (
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WORKLOAD_C,
+    WORKLOAD_D,
+)
+
+
+def _run_variants():
+    figure = FigureResult(
+        figure="Workloads",
+        title="YCSB workloads A-D (Pesos vs simulator, 200 clients)",
+        x_label="workload",
+        paper_notes=["§6.1: results were similar across workloads A-D"],
+    )
+    for spec in (WORKLOAD_A, WORKLOAD_B, WORKLOAD_C, WORKLOAD_D):
+        workload = spec.scaled(
+            record_count=_scaled(10_000), operation_count=_scaled(10_000)
+        )
+        loaded = build_system(
+            make_config("sgx", "sim"),
+            workload=workload,
+            policy_source=OPEN_POLICY,
+        )
+        result = run_point(loaded, 200, measure_ops=_measure_ops())
+        figure.add("sgx-sim", spec.name, result)
+    return figure
+
+
+def test_workloads_a_through_d_similar(regenerate):
+    figure = regenerate(_run_variants)
+    emit(figure)
+    rates = {
+        name: result.throughput
+        for name, result in (
+            (x, r) for x, r in figure.series["sgx-sim"]
+        )
+    }
+    # All four land in the same regime: within 40% of each other.
+    assert max(rates.values()) < 1.4 * min(rates.values()), rates
+    # Read-only C is the fastest or close to it.
+    assert rates["C"] >= 0.95 * max(rates.values())

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Quickstart: the full Pesos deployment flow, end to end.
+
+Walks the paper's §3.1 bootstrap on simulated infrastructure:
+
+1. An operator registers the controller binary's measurement and its
+   runtime secrets at the attestation service.
+2. An SGX platform launches the enclave; remote attestation releases
+   the secrets to it (and refuses a tampered binary).
+3. The controller connects to the Kinetic drives with factory
+   credentials and locks out every other account.
+4. Clients store objects under declarative policies; the controller
+   enforces them on every access.
+
+Run: ``python examples/quickstart.py``
+"""
+
+import secrets
+
+from repro.core.controller import PesosController
+from repro.errors import AttestationError
+from repro.kinetic.cluster import DriveCluster
+from repro.kinetic.drive import KineticDrive
+from repro.sgx.attestation import AttestationService, SgxPlatform
+from repro.sgx.enclave import EnclaveBinary
+
+
+def main() -> None:
+    # -- operator side -----------------------------------------------------
+    binary = EnclaveBinary(
+        name="pesos-controller", content=b"\x7fELF pesos controller v1.0"
+    )
+    service = AttestationService()
+    platform = SgxPlatform("rack-42-machine-7", key_bits=512)
+    service.trust_platform(platform)
+    runtime_secrets = {
+        "storage_key": secrets.token_bytes(32).hex(),
+        "disk_identity": "pesos-admin",
+        "disk_hmac_key": secrets.token_bytes(32).hex(),
+    }
+    service.register_enclave(binary.measurement(), runtime_secrets)
+    print(f"registered measurement {binary.measurement()[:16]}...")
+
+    # A tampered binary cannot attest — this is the whole point.
+    try:
+        PesosController.launch(
+            binary.tampered(), platform, service,
+            DriveCluster(num_drives=1),
+        )
+    except AttestationError as exc:
+        print(f"tampered binary refused: {exc}")
+
+    # -- genuine launch -------------------------------------------------------
+    cluster = DriveCluster(num_drives=3)
+    controller = PesosController.launch(binary, platform, service, cluster)
+    print(f"controller launched; drives locked to: "
+          f"{cluster.drive(0).identities()}")
+
+    # The factory 'demo' account no longer works on any drive.
+    from repro.errors import KineticAuthError
+    from repro.kinetic.client import KineticClient
+
+    try:
+        KineticClient(
+            cluster.drive(0), KineticDrive.DEMO_IDENTITY,
+            KineticDrive.DEMO_KEY,
+        ).noop()
+    except KineticAuthError:
+        print("cloud provider locked out of the drives")
+
+    # -- client side ------------------------------------------------------------
+    alice, bob = "fp-alice", "fp-bob"
+    policy = controller.put_policy(
+        alice,
+        f"read   :- sessionKeyIs(k'{alice}') \\/ sessionKeyIs(k'{bob}')\n"
+        f"update :- sessionKeyIs(k'{alice}')\n"
+        f"delete :- sessionKeyIs(k'{alice}')",
+    )
+    print(f"policy installed: {policy.policy_id[:16]}...")
+
+    controller.put(alice, "greeting", b"hello pesos", policy_id=policy.policy_id)
+    print(f"alice reads:  {controller.get(alice, 'greeting').value!r}")
+    print(f"bob reads:    {controller.get(bob, 'greeting').value!r}")
+
+    denied = controller.put(bob, "greeting", b"bob was here")
+    print(f"bob's write:  HTTP {denied.status} ({denied.error})")
+
+    updated = controller.put(alice, "greeting", b"hello again")
+    print(f"alice's write: version {updated.version}")
+
+    # Everything on disk is encrypted before it leaves the controller.
+    drive = cluster.drive(0)
+    ciphertexts = [e.value for e in drive._entries.values()]
+    assert all(b"hello" not in blob for blob in ciphertexts)
+    print("drive holds only ciphertext — verified")
+
+
+if __name__ == "__main__":
+    main()

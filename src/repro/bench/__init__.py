@@ -1,0 +1,38 @@
+"""Benchmark harness reproducing the paper's evaluation (§6).
+
+Architecture: all functional code (controller, policies, caches,
+drives' keyspaces) executes for real; a discrete-event simulation
+wraps each request and charges calibrated virtual-time costs — CPU on
+the controller cores, enclave overheads from the SGX cost model,
+network transfer, and backend service time from the drive timing
+models.  Throughput/latency numbers are therefore *virtual-time*
+rates whose shape (orderings, ratios, crossovers) reproduces the
+paper's figures; see EXPERIMENTS.md for paper-vs-measured.
+
+- :mod:`repro.bench.model` — the system model (controller node,
+  drives, network, request lifecycle).
+- :mod:`repro.bench.configs` — the four evaluation configurations
+  (native/Pesos x simulator/disk) and their calibration constants.
+- :mod:`repro.bench.harness` — experiment runner: build, load, sweep.
+- :mod:`repro.bench.experiments` — one entry point per table/figure.
+- :mod:`repro.bench.report` — ASCII tables and JSON result dumps.
+"""
+
+from repro.bench.configs import (
+    DISK_BACKEND,
+    SIM_BACKEND,
+    SystemConfig,
+    make_config,
+)
+from repro.bench.harness import ExperimentResult, run_point
+from repro.bench.model import SystemModel
+
+__all__ = [
+    "DISK_BACKEND",
+    "ExperimentResult",
+    "SIM_BACKEND",
+    "SystemConfig",
+    "SystemModel",
+    "make_config",
+    "run_point",
+]

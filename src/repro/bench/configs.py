@@ -1,0 +1,174 @@
+"""Evaluation configurations and calibration constants (§6.1).
+
+Four configurations, as in the paper: {native, Pesos(SGX)} x
+{Kinetic simulator, Kinetic HDD}.  The calibration constants target
+the paper's measured operating points on its testbed (Xeon E3-1270 v5,
+8 hardware threads, 10 GbE to the workload generator, three 4 TB
+Kinetic drives in an Ember enclosure with a shared 1 GbE uplink):
+
+- native + simulator peaks ~95 kIOP/s at 1 KB (Fig. 3)
+- Pesos + simulator ~85 kIOP/s — >=85% of native (Fig. 3)
+- one dedicated Kinetic HDD ~820 IOP/s (Fig. 5)
+- three HDDs behind the shared enclosure uplink ~1.1 kIOP/s (Fig. 3)
+- single-client latency vs the simulator ~0.8 ms (Fig. 4, an
+  acknowledged artifact of the simulator's per-request overhead)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.kinetic.timing import DriveTiming, HddTiming, SimulatorTiming
+from repro.sgx.costs import CostModel
+
+SIM_BACKEND = "sim"
+DISK_BACKEND = "disk"
+
+#: Controller CPU budget per request, calibrated so 8 hardware threads
+#: saturate near the paper's peak rates.  These extend the generic SGX
+#: cost models with the request-path constants of the Pesos prototype.
+NATIVE_REQUEST_COSTS = CostModel(
+    name="native",
+    request_parse=70e-6,     # TLS record + HTTP parse + handler dispatch
+    per_byte_copy=3.0e-9,    # payload movement through the request path
+    policy_check=0.30e-6,    # per evaluated predicate
+    policy_compile=150e-6,   # lex + parse + emit binary form
+    encrypt_fixed=0.4e-6,   # AES-NI key schedule + tag
+    encrypt_per_byte=0.4e-9,
+)
+
+SGX_REQUEST_COSTS = replace(
+    NATIVE_REQUEST_COSTS,
+    name="sgx",
+    syscall_sync=8.0e-6,
+    syscall_async=1.1e-6,
+    boundary_per_byte=0.9e-9,
+    epc_page_fault=12.0e-6,
+    epc_limit=96 * 1024 * 1024,
+)
+
+
+@dataclass
+class SystemConfig:
+    """Everything the harness needs to build and time one system."""
+
+    name: str
+    cost: CostModel
+    backend: str = SIM_BACKEND
+    num_drives: int = 3
+    replication_factor: int = 1
+    controller_cores: int = 8
+
+    # -- network -------------------------------------------------------------
+    #: One-way client <-> controller latency (switched 10 GbE).
+    client_net_latency: float = 40e-6
+    client_bandwidth: float = 1.17e9  # 10 GbE payload bytes/s
+    #: One-way controller <-> backend latency.
+    drive_net_latency: float = 55e-6
+    drive_bandwidth: float = 1.17e9
+
+    #: CPU spent per backend operation (marshalling one Kinetic
+    #: request/response pair through the client library).
+    disk_op_cpu: float = 9.0e-6
+    #: Extra CPU per backend *write beyond the first replica* —
+    #: replication coordination (§6.3).  The SGX build pays heavily
+    #: here (buffer copies in and out of the enclave per replica), so
+    #: make_config sets a larger value for SGX.
+    replica_write_cpu: float = 9e-6
+
+    #: Serialization point modeling the Ember enclosure's single
+    #: shared uplink (only the Fig. 3/4 disk configuration has it).
+    enclosure_per_op: float = 0.0
+
+    # -- untrusted SSD cache tier (future-work extension) ----------------
+    #: NVMe-class read/write service times and queue depth.
+    ssd_read_seconds: float = 65e-6
+    ssd_write_seconds: float = 25e-6
+    ssd_concurrency: int = 8
+
+    #: Drive timing model factory.
+    drive_timing: DriveTiming = field(default_factory=SimulatorTiming)
+
+    #: In-enclave footprint besides caches (binary + runtime buffers).
+    fixed_enclave_bytes: int = 17 * 1024 * 1024
+
+    @property
+    def is_sgx(self) -> bool:
+        return self.cost.epc_limit is not None or self.cost.syscall_async > 0
+
+    def with_replication(self, factor: int) -> "SystemConfig":
+        return replace(
+            self, replication_factor=factor,
+            name=f"{self.name}-r{factor}",
+        )
+
+
+def paper_ratio_caches(record_count: int, value_size: int):
+    """Cache budgets scaled to the dataset like the paper's defaults.
+
+    The paper pairs a ~100 MB working set (100 k x 1 KB) with a ~48 MB
+    object cache, a 600 KB key cache, and a 5 MB policy cache (§4.2).
+    Benchmarks here run smaller datasets for wall-clock reasons, so
+    the object/key budgets scale with the dataset to preserve hit
+    rates; the policy budget stays absolute (Fig. 8 controls the
+    policy cache's *entry count* explicitly).
+    """
+    from repro.core.cache import CacheConfig
+
+    dataset = record_count * value_size
+    return CacheConfig(
+        object_bytes=max(1 << 20, int(dataset * 0.48)),
+        key_bytes=max(16 << 10, record_count * 6),
+        policy_bytes=5 << 20,
+    )
+
+
+def make_config(
+    mode: str,
+    backend: str,
+    num_drives: int = 3,
+    shared_enclosure: bool = True,
+    **overrides,
+) -> SystemConfig:
+    """Build one of the four evaluation configurations.
+
+    ``mode``: ``"native"`` or ``"sgx"``.  ``backend``: ``"sim"`` or
+    ``"disk"``.  ``shared_enclosure`` applies to the disk backend only
+    and models all drives sharing one enclosure uplink (the Fig. 3
+    wiring); Fig. 5 gives every controller its own port.
+    """
+    if mode == "native":
+        cost = NATIVE_REQUEST_COSTS
+    elif mode == "sgx":
+        cost = SGX_REQUEST_COSTS
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+
+    replica_cpu = 9e-6 if mode == "native" else 34e-6
+    if backend == SIM_BACKEND:
+        timing: DriveTiming = SimulatorTiming(
+            base_seconds=235e-6, per_byte=0.5e-9, concurrency=32
+        )
+        config = SystemConfig(
+            name=f"{mode}-sim",
+            cost=cost,
+            backend=backend,
+            num_drives=num_drives,
+            drive_timing=timing,
+            replica_write_cpu=replica_cpu,
+        )
+    elif backend == DISK_BACKEND:
+        timing = HddTiming()
+        config = SystemConfig(
+            name=f"{mode}-disk",
+            cost=cost,
+            backend=backend,
+            num_drives=num_drives,
+            drive_timing=timing,
+            drive_bandwidth=1.17e8,  # 1 GbE to the enclosure
+            enclosure_per_op=0.66e-3 if shared_enclosure else 0.0,
+            replica_write_cpu=replica_cpu,
+        )
+    else:
+        raise ValueError(f"unknown backend {backend!r}")
+    return replace(config, **overrides) if overrides else config

@@ -1,0 +1,223 @@
+"""Discrete-event system model wrapping the functional controller.
+
+One :class:`SystemModel` owns the virtual resources of a deployment —
+controller CPU cores, the client-facing network link, per-drive
+service stations, the optional shared enclosure uplink — and exposes
+:meth:`SystemModel.request`, a process generator that executes one
+client request functionally and charges its costs in virtual time:
+
+1. client->controller network (latency + serialized transfer),
+2. controller CPU (parse, copies, crypto, policy work, syscall and
+   enclave-boundary overheads derived from the request's recorded
+   effects),
+3. one service visit per backend operation the request performed
+   (network + optional enclosure + drive),
+4. response marshalling CPU and the return network hop.
+
+Functional execution happens atomically at the start of step 2 (the
+standard execute-then-charge DES technique); queueing behaviour and
+therefore throughput/latency curves come from the resource model.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.configs import SystemConfig
+from repro.core.effects import (
+    DECRYPT,
+    DISK_DELETE,
+    DISK_READ,
+    DISK_WRITE,
+    ENCRYPT,
+    POLICY_CHECK,
+    POLICY_COMPILE,
+    POLICY_LOAD,
+)
+from repro.core.ssdcache import SSD_READ, SSD_WRITE
+from repro.kinetic.timing import OP_DELETE, OP_READ, OP_WRITE
+from repro.sim import Environment, Histogram, Resource, ThroughputMeter
+
+
+class DriveStation:
+    """Virtual-time service model for one backend drive."""
+
+    def __init__(self, env: Environment, config: SystemConfig, seed: int):
+        self.env = env
+        self.timing = config.drive_timing
+        self.resource = Resource(env, capacity=self.timing.concurrency)
+        self._rng = random.Random(seed)
+
+    def service(self, op: str, nbytes: int):
+        yield self.resource.acquire()
+        try:
+            yield self.env.timeout(
+                self.timing.service_time(op, nbytes, self._rng)
+            )
+        finally:
+            self.resource.release()
+
+
+class SystemModel:
+    """The deployment's shared virtual resources + request lifecycle."""
+
+    def __init__(
+        self,
+        env: Environment,
+        controller,
+        config: SystemConfig,
+        seed: int = 1234,
+    ):
+        self.env = env
+        self.controller = controller
+        self.config = config
+        self.cpu = Resource(env, capacity=config.controller_cores)
+        self.client_link = Resource(env, capacity=1)
+        self.drive_link = Resource(env, capacity=1)
+        self.enclosure = (
+            Resource(env, capacity=1) if config.enclosure_per_op else None
+        )
+        self.drives = [
+            DriveStation(env, config, seed=seed + index)
+            for index in range(config.num_drives)
+        ]
+        self.ssd = Resource(env, capacity=config.ssd_concurrency)
+        self.latency = Histogram(min_value=1e-5, max_value=50.0, growth=1.04)
+        self.meter = ThroughputMeter()
+        self.cpu_seconds_charged = 0.0
+
+    # -- cost derivation ---------------------------------------------------
+
+    def _derive_costs(self, events, request_bytes: int, response_bytes: int):
+        """Split recorded effects into CPU time and backend visits."""
+        cost = self.config.cost
+        cpu = cost.request_parse
+        cpu += cost.copy_cost(request_bytes + response_bytes)
+        disk_ops = []
+        ssd_ops = []
+        writes_seen = 0
+        for event in events:
+            kind = event[0]
+            if kind == SSD_READ:
+                ssd_ops.append((SSD_READ, event[1]))
+            elif kind == SSD_WRITE:
+                ssd_ops.append((SSD_WRITE, event[1]))
+            elif kind == DISK_READ:
+                disk_ops.append((OP_READ, event[1], event[2]))
+            elif kind == DISK_WRITE:
+                writes_seen += 1
+                if writes_seen > 2:
+                    # Value+meta are the first two; further writes are
+                    # replica coordination (§6.3).
+                    cpu += self.config.replica_write_cpu
+                disk_ops.append((OP_WRITE, event[1], event[2]))
+            elif kind == DISK_DELETE:
+                disk_ops.append((OP_DELETE, event[1], event[2]))
+            elif kind in (ENCRYPT, DECRYPT):
+                cpu += cost.encryption_cost(event[1])
+            elif kind == POLICY_CHECK:
+                cpu += cost.policy_check * max(1, event[1])
+            elif kind == POLICY_COMPILE:
+                cpu += cost.policy_compile
+            elif kind == POLICY_LOAD:
+                cpu += cost.policy_load
+        cpu += len(disk_ops) * self.config.disk_op_cpu
+        # Syscalls: client socket recv+send, one send+recv pair per
+        # backend operation (async interface under Scone), and one
+        # read/write syscall per SSD-tier access.
+        syscalls = 2 + 2 * len(disk_ops) + len(ssd_ops)
+        cpu += syscalls * cost.syscall_cost()
+        # Enclave-boundary copies for payload and backend traffic.
+        ssd_bytes = sum(nbytes for _op, nbytes in ssd_ops)
+        disk_bytes = sum(nbytes for _op, _idx, nbytes in disk_ops)
+        touched = request_bytes + response_bytes + disk_bytes + ssd_bytes
+        cpu += touched * cost.boundary_per_byte
+        cpu += self._epc_cost(touched)
+        return cpu, disk_ops, ssd_ops
+
+    def _epc_cost(self, touched_bytes: int) -> float:
+        """Approximate paging cost once the enclave exceeds the EPC."""
+        cost = self.config.cost
+        if cost.epc_limit is None or not touched_bytes:
+            return 0.0
+        footprint = (
+            self.config.fixed_enclave_bytes
+            + self.controller.caches.memory_in_use()
+            + self.controller.sessions.memory_in_use()
+        )
+        if footprint <= cost.epc_limit:
+            return 0.0
+        overflow_fraction = 1.0 - cost.epc_limit / footprint
+        faults = (touched_bytes / 4096.0) * overflow_fraction
+        return faults * cost.epc_page_fault
+
+    # -- request lifecycle -----------------------------------------------------
+
+    def request(self, execute, request_bytes: int):
+        """Process generator for one client request.
+
+        ``execute`` is a zero-argument callable that performs the
+        functional operation and returns its Response; recorded
+        effects are drained from the controller afterwards.
+        """
+        env = self.env
+        config = self.config
+        started = env.now
+
+        # Client -> controller: latency plus serialized transfer.
+        yield env.timeout(config.client_net_latency)
+        yield self.client_link.acquire()
+        yield env.timeout(request_bytes / config.client_bandwidth)
+        self.client_link.release()
+
+        # Functional execution (atomic) + effect-derived costs.
+        self.controller.effects.drain()
+        response = execute()
+        events = self.controller.effects.drain()
+        response_bytes = len(response.value) if response.value else 64
+        cpu_time, disk_ops, ssd_ops = self._derive_costs(
+            events, request_bytes, response_bytes
+        )
+
+        # Controller CPU: split around the backend visits (2/3 before,
+        # 1/3 for response marshalling after).
+        yield self.cpu.acquire()
+        yield env.timeout(cpu_time * 2 / 3)
+        self.cpu.release()
+        self.cpu_seconds_charged += cpu_time
+
+        for op, _nbytes in ssd_ops:
+            yield self.ssd.acquire()
+            yield env.timeout(
+                config.ssd_read_seconds
+                if op == SSD_READ
+                else config.ssd_write_seconds
+            )
+            self.ssd.release()
+
+        for op, drive_index, nbytes in disk_ops:
+            yield env.timeout(config.drive_net_latency)
+            yield self.drive_link.acquire()
+            yield env.timeout(max(64, nbytes) / config.drive_bandwidth)
+            self.drive_link.release()
+            if self.enclosure is not None:
+                yield self.enclosure.acquire()
+                yield env.timeout(config.enclosure_per_op)
+                self.enclosure.release()
+            yield from self.drives[drive_index % len(self.drives)].service(
+                op, nbytes
+            )
+
+        yield self.cpu.acquire()
+        yield env.timeout(cpu_time / 3)
+        self.cpu.release()
+
+        # Controller -> client.
+        yield self.client_link.acquire()
+        yield env.timeout(response_bytes / config.client_bandwidth)
+        self.client_link.release()
+        yield env.timeout(config.client_net_latency)
+
+        self.latency.add(env.now - started)
+        self.meter.record(request_bytes + response_bytes)
+        return response

@@ -1,0 +1,122 @@
+"""Rendering and persistence of experiment results.
+
+Each experiment produces a :class:`FigureResult`: named series of
+(x, ExperimentResult) points plus the paper's reference numbers for
+the same figure.  ``render()`` prints the rows the paper reports;
+``save()`` writes JSON next to the benchmark outputs so EXPERIMENTS.md
+can be regenerated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FigureResult:
+    """Measured series for one table/figure."""
+
+    figure: str
+    title: str
+    x_label: str
+    series: dict = field(default_factory=dict)  # name -> [(x, result)]
+    paper_notes: list = field(default_factory=list)
+    #: Metric ``render()`` uses when none is passed explicitly.
+    default_metric: str = "kiops"
+
+    def add(self, series_name: str, x, result) -> None:
+        self.series.setdefault(series_name, []).append((x, result))
+
+    def throughput_of(self, series_name: str, x):
+        for point_x, result in self.series.get(series_name, []):
+            if point_x == x:
+                return result.throughput
+        raise KeyError(f"{series_name}@{x}")
+
+    def peak(self, series_name: str) -> float:
+        return max(
+            result.throughput for _x, result in self.series[series_name]
+        )
+
+    # -- rendering ------------------------------------------------------------
+
+    def render(self, metric: str | None = None) -> str:
+        metric = metric or self.default_metric
+        lines = [f"== {self.figure}: {self.title} =="]
+        xs = sorted(
+            {x for points in self.series.values() for x, _r in points},
+            key=lambda value: (isinstance(value, str), value),
+        )
+        names = list(self.series)
+        header = [self.x_label] + names
+        rows = []
+        for x in xs:
+            row = [str(x)]
+            for name in names:
+                value = ""
+                for point_x, result in self.series[name]:
+                    if point_x == x:
+                        if metric == "kiops":
+                            value = f"{result.kiops:.1f}"
+                        elif metric == "iops":
+                            value = f"{result.throughput:.0f}"
+                        elif metric == "latency_ms":
+                            value = f"{result.mean_latency * 1e3:.2f}"
+                        break
+                row.append(value)
+            rows.append(row)
+        lines.append(format_table(header, rows))
+        for note in self.paper_notes:
+            lines.append(f"  paper: {note}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "figure": self.figure,
+            "title": self.title,
+            "x_label": self.x_label,
+            "paper_notes": self.paper_notes,
+            "series": {
+                name: [
+                    {"x": x, **result.row()} for x, result in points
+                ]
+                for name, points in self.series.items()
+            },
+        }
+
+
+def format_table(header: list, rows: list) -> str:
+    """Plain ASCII table with aligned columns."""
+    widths = [len(str(h)) for h in header]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+
+    def fmt(cells):
+        return "  ".join(
+            str(cell).rjust(width) for cell, width in zip(cells, widths)
+        )
+
+    sep = "  ".join("-" * width for width in widths)
+    return "\n".join([fmt(header), sep] + [fmt(row) for row in rows])
+
+
+def results_dir() -> str:
+    path = os.environ.get(
+        "REPRO_RESULTS_DIR",
+        os.path.join(os.path.dirname(__file__), "..", "..", "..",
+                     "benchmarks", "results"),
+    )
+    path = os.path.abspath(path)
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def save_figure(result: FigureResult) -> str:
+    """Persist a figure's data as JSON; returns the file path."""
+    path = os.path.join(results_dir(), f"{result.figure.lower()}.json")
+    with open(path, "w") as handle:
+        json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+    return path

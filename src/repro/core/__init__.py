@@ -1,0 +1,46 @@
+"""The Pesos controller: the paper's unified enforcement layer.
+
+Everything between the client REST interface and the Kinetic drives
+lives here, in one layer, exactly as the paper argues it should:
+
+- :mod:`repro.core.request` — REST request/response model.
+- :mod:`repro.core.session` — per-client session contexts (§3.1).
+- :mod:`repro.core.cache` — the bounded in-enclave cache regions (§4.2).
+- :mod:`repro.core.asyncapi` — the asynchronous operation API (§4.1).
+- :mod:`repro.core.store` — the object store over Kinetic drives:
+  versioned layout, AES-GCM-style payload encryption, replication
+  placement (§4.5).
+- :mod:`repro.core.txn` — VLL-based ACID transactions (§4.4).
+- :mod:`repro.core.controller` — bootstrap (attestation, disk lock-out)
+  and the request handler that enforces policies on every access.
+"""
+
+from repro.core.controller import (
+    ControllerConfig,
+    PesosController,
+    verify_attestation,
+)
+from repro.core.hashring import ElasticStore, HashRing
+from repro.core.request import Request, Response
+from repro.core.session import Session, SessionManager
+from repro.core.sharding import ShardedPesos
+from repro.core.ssdcache import SsdCacheTier
+from repro.core.store import ObjectStore, StoredMeta
+from repro.core.webserver import WebServer
+
+__all__ = [
+    "ControllerConfig",
+    "ElasticStore",
+    "HashRing",
+    "ObjectStore",
+    "PesosController",
+    "Request",
+    "Response",
+    "Session",
+    "SessionManager",
+    "ShardedPesos",
+    "SsdCacheTier",
+    "StoredMeta",
+    "WebServer",
+    "verify_attestation",
+]

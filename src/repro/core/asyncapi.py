@@ -1,0 +1,84 @@
+"""The asynchronous operation interface (§4.1).
+
+Write-class requests may be submitted asynchronously: the controller
+acknowledges immediately with an operation id, executes the request in
+the background, and buffers the final result.  Due to limited enclave
+memory, only the results of the last 2048 operations are retained —
+older results are discarded and querying them returns "gone" (the
+client must re-issue the original request, §4.1 fault tolerance).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ResultExpired
+
+RESULT_BUFFER_SIZE = 2048
+
+PENDING = "pending"
+DONE = "done"
+
+
+@dataclass
+class OperationResult:
+    """State of one asynchronous operation."""
+
+    operation_id: str
+    fingerprint: str
+    state: str = PENDING
+    result: Any = None
+
+    @property
+    def done(self) -> bool:
+        return self.state == DONE
+
+
+class AsyncTracker:
+    """Issues operation ids and buffers the most recent results."""
+
+    def __init__(self, buffer_size: int = RESULT_BUFFER_SIZE):
+        self.buffer_size = buffer_size
+        self._results: OrderedDict[str, OperationResult] = OrderedDict()
+        self._ids = itertools.count(1)
+        self.issued = 0
+        self.discarded = 0
+
+    def begin(self, fingerprint: str) -> OperationResult:
+        """Register a new pending operation for a client."""
+        operation_id = f"op-{next(self._ids):08d}"
+        entry = OperationResult(
+            operation_id=operation_id, fingerprint=fingerprint
+        )
+        self._results[operation_id] = entry
+        self.issued += 1
+        while len(self._results) > self.buffer_size:
+            self._results.popitem(last=False)
+            self.discarded += 1
+        return entry
+
+    def complete(self, operation_id: str, result: Any) -> None:
+        """Record the final result (no-op if already evicted)."""
+        entry = self._results.get(operation_id)
+        if entry is not None:
+            entry.state = DONE
+            entry.result = result
+
+    def query(self, operation_id: str, fingerprint: str) -> OperationResult:
+        """Fetch an operation's state; enforces client ownership."""
+        entry = self._results.get(operation_id)
+        if entry is None:
+            raise ResultExpired(
+                f"result for {operation_id} was discarded; re-submit the request"
+            )
+        if entry.fingerprint != fingerprint:
+            # Results are session-scoped; another client's ids are
+            # indistinguishable from expired ones.
+            raise ResultExpired(f"no result for {operation_id}")
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._results)

@@ -1,0 +1,679 @@
+"""The Pesos controller (§3).
+
+One object owns the full request path: session management, the policy
+compiler/interpreter, cache regions, the asynchronous API, the VLL
+transaction manager, and the encrypted object store over Kinetic
+drives.  :meth:`PesosController.handle` is the single entry point the
+web-server layer (and every benchmark) calls per request.
+
+Bootstrap (§3.1): :meth:`PesosController.launch` runs the paper's
+deployment flow — launch the enclave, remotely attest against the
+attestation service to receive runtime secrets, connect to every
+configured Kinetic drive with the factory credentials, and take
+exclusive control by replacing all drive accounts with a single
+controller-only admin identity.
+"""
+
+from __future__ import annotations
+
+import secrets as _secrets
+from dataclasses import dataclass, field
+
+from repro.core.asyncapi import AsyncTracker
+from repro.core.cache import CacheConfig, CacheManager
+from repro.core.effects import (
+    COPY,
+    EffectsRecorder,
+    POLICY_CHECK,
+    POLICY_COMPILE,
+    POLICY_LOAD,
+)
+from repro.core.request import Request, Response
+from repro.core.session import Session, SessionManager
+from repro.core.store import ObjectStore, StoreBackedView, StoredMeta
+from repro.core.txn import Transaction, VllManager
+from repro.crypto.aead import StreamAead
+from repro.errors import (
+    ObjectNotFound,
+    PesosError,
+    PolicyDenied,
+    RequestError,
+    TransactionError,
+)
+from repro.kinetic.drive import KineticDrive, Role
+from repro.policy.binary import CompiledPolicy
+from repro.policy.compiler import compile_source
+from repro.policy.context import EvalContext, VersionInfo
+from repro.policy.interpreter import PolicyInterpreter
+
+
+@dataclass
+class ControllerConfig:
+    """Tunables for one controller instance."""
+
+    replication_factor: int = 1
+    keep_history: bool = True
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    session_expiry: float = 3600.0
+    #: Suffix used to resolve the ``log`` reference when the request
+    #: does not name a log object explicitly (MAL convention).
+    log_suffix: str = ".log"
+    #: AEAD construction for payload encryption.
+    aead_factory: type = StreamAead
+    #: Disable policy checking entirely (the paper's "without policy
+    #: enforcement" baseline used in §6.2).
+    enforce_policies: bool = True
+    #: Bound on per-version metadata kept per object (see
+    #: :class:`repro.core.store.ObjectStore`); None keeps everything.
+    version_metadata_window: int | None = None
+    #: Entries in the untrusted-SSD cache tier's freshness table
+    #: (see :mod:`repro.core.ssdcache`); None disables the tier.
+    ssd_cache_entries: int | None = None
+
+
+def attestation_statement(
+    key: str,
+    version: int,
+    content_hash: str,
+    policy_hash: str,
+    policy_id: str,
+    timestamp: float,
+) -> bytes:
+    """Canonical byte encoding of one storage attestation."""
+    import json
+
+    return json.dumps(
+        {
+            "key": key,
+            "version": version,
+            "content_hash": content_hash,
+            "policy_hash": policy_hash,
+            "policy_id": policy_id,
+            "timestamp": timestamp,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode()
+
+
+def verify_attestation(statement: bytes, signature: bytes, public_key) -> dict:
+    """Client-side check of a storage attestation.
+
+    Returns the parsed statement; raises on a bad signature.
+    """
+    import json
+
+    from repro.errors import IntegrityError
+
+    if not public_key.verify(statement, signature):
+        raise IntegrityError("attestation signature invalid")
+    return json.loads(statement)
+
+
+class _ViewMap:
+    """Lazy object-id → view mapping handed to the policy context."""
+
+    def __init__(self, controller: "PesosController"):
+        self._controller = controller
+        self._views: dict = {}
+
+    def get(self, object_id: str):
+        if object_id in self._views:
+            return self._views[object_id]
+        meta = self._controller._get_meta(object_id)
+        view = None
+        if meta is not None and meta.exists:
+            view = StoreBackedView(
+                meta, self._controller.store, self._controller.caches
+            )
+        self._views[object_id] = view
+        return view
+
+
+class PesosController:
+    """The trusted controller running inside the enclave."""
+
+    def __init__(
+        self,
+        clients: list,
+        storage_key: bytes | None = None,
+        config: ControllerConfig | None = None,
+        authority_keys: dict | None = None,
+        effects: EffectsRecorder | None = None,
+        signing_keys=None,
+    ):
+        self.config = config or ControllerConfig()
+        self.effects = effects or EffectsRecorder()
+        self.caches = CacheManager(self.config.cache, self.effects)
+        self.sessions = SessionManager(self.config.session_expiry)
+        self.async_tracker = AsyncTracker()
+        self.interpreter = PolicyInterpreter()
+        self.store = ObjectStore(
+            clients,
+            storage_key or _secrets.token_bytes(32),
+            replication_factor=self.config.replication_factor,
+            keep_history=self.config.keep_history,
+            effects=self.effects,
+            aead_factory=self.config.aead_factory,
+            version_metadata_window=self.config.version_metadata_window,
+        )
+        #: Public keys of external authorities (time servers, group
+        #: CAs) by fingerprint, available to certificateSays.
+        self.authority_keys = dict(authority_keys or {})
+        self.txns = VllManager(self._execute_transaction)
+        self.requests_handled = 0
+        self._tx_session_now: tuple = (None, 0.0)
+        #: Controller identity used to sign storage attestations (§1:
+        #: "cryptographic attestation for the stored objects and their
+        #: associated policies").  A :class:`repro.crypto.certs.KeyPair`.
+        self.signing_keys = signing_keys
+        #: Optional untrusted-SSD cache tier between the enclave
+        #: caches and the drives (paper future work; §8).
+        self.ssd_cache = None
+        if self.config.ssd_cache_entries:
+            from repro.core.ssdcache import SsdCacheTier
+
+            self.ssd_cache = SsdCacheTier(
+                max_entries=self.config.ssd_cache_entries,
+                effects=self.effects,
+            )
+
+    # ------------------------------------------------------------------
+    # Bootstrap
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def launch(
+        cls,
+        binary,
+        platform,
+        attestation_service,
+        cluster,
+        config: ControllerConfig | None = None,
+        authority_keys: dict | None = None,
+    ) -> "PesosController":
+        """Full §3.1 bootstrap: attest, connect, lock out everyone else."""
+        from repro.sgx.attestation import attest_and_provision
+
+        enclave = platform.launch(binary)
+        provided = attest_and_provision(attestation_service, platform, enclave)
+        storage_key = bytes.fromhex(provided["storage_key"])
+        admin_identity = provided["disk_identity"]
+        admin_key = bytes.fromhex(provided["disk_hmac_key"])
+
+        # Connect with factory credentials, then atomically replace the
+        # account table with our single admin account on every drive —
+        # locking out all other users, including the cloud provider.
+        factory_clients = cluster.connect_all(
+            KineticDrive.DEMO_IDENTITY, KineticDrive.DEMO_KEY
+        )
+        for client in factory_clients:
+            client.set_security([(admin_identity, admin_key, Role.all())])
+        clients = cluster.connect_all(admin_identity, admin_key)
+        return cls(
+            clients,
+            storage_key=storage_key,
+            config=config,
+            authority_keys=authority_keys,
+        )
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+
+    def handle(
+        self, request: Request, fingerprint: str, now: float = 0.0
+    ) -> Response:
+        """Execute one authenticated client request."""
+        self.requests_handled += 1
+        try:
+            request.validate()
+            session = self.sessions.connect(fingerprint, now)
+            session.touch(now)
+            if request.asynchronous:
+                return self._handle_async(request, session, now)
+            return self._dispatch(request, session, now)
+        except PesosError as exc:
+            return Response(status=exc.status, error=str(exc))
+
+    def _dispatch(
+        self, request: Request, session: Session, now: float
+    ) -> Response:
+        handler = getattr(self, f"_handle_{request.method}", None)
+        if handler is None:
+            raise RequestError(f"unhandled method {request.method!r}")
+        return handler(request, session, now)
+
+    def _handle_async(
+        self, request: Request, session: Session, now: float
+    ) -> Response:
+        entry = self.async_tracker.begin(session.fingerprint)
+        session.operations.append(entry.operation_id)
+        # Execute now in the functional model; the benchmarks account
+        # the deferred completion in virtual time.
+        try:
+            result = self._dispatch(request, session, now)
+        except PesosError as exc:
+            result = Response(status=exc.status, error=str(exc))
+        self.async_tracker.complete(entry.operation_id, result)
+        return Response(status=202, operation_id=entry.operation_id)
+
+    def _handle_status(
+        self, request: Request, session: Session, now: float
+    ) -> Response:
+        entry = self.async_tracker.query(
+            request.operation_id, session.fingerprint
+        )
+        if not entry.done:
+            return Response(status=202, operation_id=entry.operation_id)
+        inner: Response = entry.result
+        inner.operation_id = entry.operation_id
+        return inner
+
+    # ------------------------------------------------------------------
+    # Metadata and policy plumbing
+    # ------------------------------------------------------------------
+
+    def _get_meta(self, key: str) -> StoredMeta | None:
+        meta = self.caches.get_meta(key)
+        if meta is not None:
+            return meta
+        if self.ssd_cache is not None:
+            blob = self.ssd_cache.get(f"m:{key}")
+            if blob is not None:
+                meta = StoredMeta.decode(blob)
+                self.caches.put_meta(key, meta)
+                return meta
+        meta = self.store.read_meta(key)
+        if meta is not None:
+            self.caches.put_meta(key, meta)
+            if self.ssd_cache is not None:
+                self.ssd_cache.put(f"m:{key}", meta.encode())
+        return meta
+
+    def _load_policy(self, policy_id: str) -> CompiledPolicy | None:
+        policy = self.caches.get_policy(policy_id)
+        if policy is not None:
+            return policy
+        blob = self.store.read_policy(policy_id)
+        if blob is None:
+            return None
+        policy = CompiledPolicy.from_bytes(blob)
+        self.effects.record(POLICY_LOAD, len(blob))
+        self.caches.put_policy(policy_id, policy)
+        return policy
+
+    def _build_context(
+        self,
+        operation: str,
+        request: Request,
+        session: Session,
+        meta: StoredMeta | None,
+        now: float,
+        pending: VersionInfo | None = None,
+    ) -> EvalContext:
+        exists = meta is not None and meta.exists
+        log_id = request.log_key or (request.key + self.config.log_suffix)
+        return EvalContext(
+            operation=operation,
+            session_key=session.fingerprint,
+            this_id=request.key if exists else None,
+            log_id=log_id,
+            request_version=request.version,
+            objects=_ViewMap(self),
+            pending=pending,
+            certificates=list(request.certificates),
+            key_registry=dict(self.authority_keys),
+            now=now,
+            nonce=session.nonce,
+        )
+
+    def _check_policy(
+        self,
+        operation: str,
+        policy: CompiledPolicy | None,
+        ctx: EvalContext,
+    ) -> None:
+        if policy is None or not self.config.enforce_policies:
+            return
+        decision = self.interpreter.evaluate(policy, operation, ctx)
+        self.effects.record(POLICY_CHECK, decision.predicates_evaluated)
+        if not decision.granted:
+            raise PolicyDenied(
+                f"policy denies {operation} on {ctx.this_id or ctx.log_id}"
+            )
+
+    # ------------------------------------------------------------------
+    # Object operations
+    # ------------------------------------------------------------------
+
+    def _handle_put(
+        self, request: Request, session: Session, now: float
+    ) -> Response:
+        self.effects.record(COPY, len(request.value))
+        meta = self._get_meta(request.key) or StoredMeta(key=request.key)
+
+        # Resolve the policy that will be bound to the new version.
+        bound_policy_id = request.policy_id or meta.policy_id
+        bound_policy = None
+        if bound_policy_id:
+            bound_policy = self._load_policy(bound_policy_id)
+            if bound_policy is None:
+                raise RequestError(f"unknown policy {bound_policy_id!r}")
+        bound_hash = bound_policy.policy_hash() if bound_policy else ""
+
+        # The governing policy for this update is the object's current
+        # policy when it exists; a brand-new object is governed by the
+        # policy being attached (its creation clause, if any).
+        governing = None
+        if meta.exists and meta.policy_id:
+            governing = self._load_policy(meta.policy_id)
+        elif not meta.exists:
+            governing = bound_policy
+
+        if self.config.enforce_policies and governing is not None:
+            pending = VersionInfo.from_content(request.value, bound_hash)
+            ctx = self._build_context(
+                "update", request, session, meta, now, pending
+            )
+            self._check_policy("update", governing, ctx)
+
+        meta.policy_id = bound_policy_id
+        self.store.store_version(meta, request.value, bound_hash)
+        self.caches.put_meta(request.key, meta)
+        self.caches.put_object(
+            f"{request.key}@{meta.current_version}", request.value
+        )
+        if self.ssd_cache is not None:
+            self.ssd_cache.put(
+                f"{request.key}@{meta.current_version}", request.value
+            )
+            self.ssd_cache.put(f"m:{request.key}", meta.encode())
+        return Response(
+            status=200,
+            version=meta.current_version,
+            policy_id=bound_policy_id,
+        )
+
+    def _handle_get(
+        self, request: Request, session: Session, now: float
+    ) -> Response:
+        meta = self._get_meta(request.key)
+        if meta is None or not meta.exists:
+            raise ObjectNotFound(f"no object {request.key!r}")
+        if self.config.enforce_policies and meta.policy_id:
+            policy = self._load_policy(meta.policy_id)
+            ctx = self._build_context("read", request, session, meta, now)
+            self._check_policy("read", policy, ctx)
+        version = (
+            request.version if request.version is not None
+            else meta.current_version
+        )
+        if version not in meta.versions:
+            raise ObjectNotFound(
+                f"object {request.key!r} has no version {version}"
+            )
+        cache_key = f"{request.key}@{version}"
+        value = self.caches.get_object(cache_key)
+        if value is None and self.ssd_cache is not None:
+            value = self.ssd_cache.get(cache_key)
+        if value is None:
+            value = self.store.read_value(request.key, version)
+            if self.ssd_cache is not None:
+                self.ssd_cache.put(cache_key, value)
+        self.caches.put_object(cache_key, value)
+        self.effects.record(COPY, len(value))
+        return Response(
+            status=200,
+            value=value,
+            version=version,
+            policy_id=meta.policy_id,
+        )
+
+    def _handle_delete(
+        self, request: Request, session: Session, now: float
+    ) -> Response:
+        meta = self._get_meta(request.key)
+        if meta is None or not meta.exists:
+            raise ObjectNotFound(f"no object {request.key!r}")
+        if self.config.enforce_policies and meta.policy_id:
+            policy = self._load_policy(meta.policy_id)
+            ctx = self._build_context("delete", request, session, meta, now)
+            self._check_policy("delete", policy, ctx)
+        self.store.delete_object(meta)
+        self.caches.invalidate_meta(request.key)
+        for version in meta.versions:
+            self.caches.invalidate_object(f"{request.key}@{version}")
+            if self.ssd_cache is not None:
+                self.ssd_cache.invalidate(f"{request.key}@{version}")
+        if self.ssd_cache is not None:
+            self.ssd_cache.invalidate(f"m:{request.key}")
+        return Response(status=200)
+
+    def _handle_attest(
+        self, request: Request, session: Session, now: float
+    ) -> Response:
+        """Signed statement binding key, version, content, and policy.
+
+        Requires read permission on the object; the client verifies
+        the statement offline against the controller's certificate,
+        proving what the store held at attestation time.
+        """
+        if self.signing_keys is None:
+            raise RequestError("controller has no attestation signing key")
+        meta = self._get_meta(request.key)
+        if meta is None or not meta.exists:
+            raise ObjectNotFound(f"no object {request.key!r}")
+        if self.config.enforce_policies and meta.policy_id:
+            policy = self._load_policy(meta.policy_id)
+            ctx = self._build_context("read", request, session, meta, now)
+            self._check_policy("read", policy, ctx)
+        version = (
+            request.version if request.version is not None
+            else meta.current_version
+        )
+        version_meta = meta.versions.get(version)
+        if version_meta is None:
+            raise ObjectNotFound(
+                f"object {request.key!r} has no version {version}"
+            )
+        statement = attestation_statement(
+            key=request.key,
+            version=version,
+            content_hash=version_meta.content_hash,
+            policy_hash=version_meta.policy_hash,
+            policy_id=meta.policy_id,
+            timestamp=now,
+        )
+        signature = self.signing_keys.private_key.sign(statement)
+        return Response(
+            status=200,
+            value=statement,
+            version=version,
+            extra={"signature": signature.hex()},
+        )
+
+    # -- admin / maintenance (operator API, not client-reachable) -------
+
+    def scrub_object(self, key: str) -> list:
+        """Audit all replicas of an object; see ObjectStore.scrub."""
+        meta = self._get_meta(key)
+        if meta is None or not meta.exists:
+            raise ObjectNotFound(f"no object {key!r}")
+        return self.store.scrub(meta)
+
+    def repair_object(self, key: str) -> int:
+        """Re-write damaged replicas; see ObjectStore.repair."""
+        meta = self._get_meta(key)
+        if meta is None or not meta.exists:
+            raise ObjectNotFound(f"no object {key!r}")
+        return self.store.repair(meta)
+
+    # ------------------------------------------------------------------
+    # Policy management
+    # ------------------------------------------------------------------
+
+    def _handle_put_policy(
+        self, request: Request, session: Session, now: float
+    ) -> Response:
+        source = request.value.decode()
+        policy = compile_source(source)
+        self.effects.record(POLICY_COMPILE, policy.size_bytes())
+        policy_id = policy.policy_hash()
+        self.store.write_policy(policy_id, policy.to_bytes())
+        self.caches.put_policy(policy_id, policy)
+        return Response(status=200, policy_id=policy_id)
+
+    def _handle_get_policy(
+        self, request: Request, session: Session, now: float
+    ) -> Response:
+        policy_id = request.policy_id or request.key
+        policy = self._load_policy(policy_id)
+        if policy is None:
+            raise ObjectNotFound(f"no policy {policy_id!r}")
+        return Response(
+            status=200, value=policy.to_bytes(), policy_id=policy_id
+        )
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def _handle_create_tx(
+        self, request: Request, session: Session, now: float
+    ) -> Response:
+        tx = self.txns.create(session.fingerprint)
+        session.transactions.add(tx.txid)
+        return Response(status=200, txid=tx.txid)
+
+    def _handle_add_read(
+        self, request: Request, session: Session, now: float
+    ) -> Response:
+        tx = self.txns.get(request.txid, session.fingerprint)
+        tx.add_read(request.key)
+        return Response(status=200, txid=tx.txid)
+
+    def _handle_add_write(
+        self, request: Request, session: Session, now: float
+    ) -> Response:
+        tx = self.txns.get(request.txid, session.fingerprint)
+        tx.add_write(request.key, request.value, request.policy_id)
+        return Response(status=200, txid=tx.txid)
+
+    def _handle_commit_tx(
+        self, request: Request, session: Session, now: float
+    ) -> Response:
+        tx = self.txns.get(request.txid, session.fingerprint)
+        self._tx_session_now = (session, now)
+        tx = self.txns.commit(tx)
+        if tx.state == "aborted":
+            return Response(status=409, txid=tx.txid, error=tx.error)
+        return Response(status=200, txid=tx.txid)
+
+    def _handle_abort_tx(
+        self, request: Request, session: Session, now: float
+    ) -> Response:
+        tx = self.txns.get(request.txid, session.fingerprint)
+        self.txns.abort(tx)
+        return Response(status=200, txid=tx.txid)
+
+    def _handle_tx_results(
+        self, request: Request, session: Session, now: float
+    ) -> Response:
+        tx = self.txns.get(request.txid, session.fingerprint)
+        if tx.state == "aborted":
+            return Response(status=409, txid=tx.txid, error=tx.error)
+        if tx.state != "committed":
+            return Response(status=202, txid=tx.txid)
+        payload = b"\n".join(
+            key.encode() + b"=" + value
+            for key, value in sorted(tx.results.items())
+        )
+        return Response(status=200, txid=tx.txid, value=payload)
+
+    def _execute_transaction(self, tx: Transaction) -> dict:
+        """Atomic execution: check every policy, then apply every write."""
+        session, now = self._tx_session_now
+        results: dict[str, bytes] = {}
+
+        # Phase 1: policy checks (and reads) with no side effects.
+        staged = []
+        for key in tx.reads:
+            sub = Request(method="get", key=key)
+            try:
+                response = self._handle_get(sub, session, now)
+            except PesosError as exc:
+                raise TransactionError(f"read {key!r}: {exc}") from exc
+            results[f"read:{key}"] = response.value
+        for key, (value, policy_id) in tx.writes.items():
+            sub = Request(
+                method="put", key=key, value=value, policy_id=policy_id
+            )
+            meta = self._get_meta(key) or StoredMeta(key=key)
+            bound_policy_id = policy_id or meta.policy_id
+            bound = (
+                self._load_policy(bound_policy_id) if bound_policy_id else None
+            )
+            bound_hash = bound.policy_hash() if bound else ""
+            if meta.exists and meta.policy_id:
+                governing = self._load_policy(meta.policy_id)
+            else:
+                governing = bound
+            if self.config.enforce_policies and governing is not None:
+                pending = VersionInfo.from_content(value, bound_hash)
+                ctx = self._build_context(
+                    "update", sub, session, meta, now, pending
+                )
+                try:
+                    self._check_policy("update", governing, ctx)
+                except PolicyDenied as exc:
+                    raise TransactionError(str(exc)) from exc
+            staged.append(sub)
+
+        # Phase 2: apply all writes (policies already granted).
+        enforce = self.config.enforce_policies
+        self.config.enforce_policies = False
+        try:
+            for sub in staged:
+                response = self._handle_put(sub, session, now)
+                results[f"write:{sub.key}"] = f"v{response.version}".encode()
+        finally:
+            self.config.enforce_policies = enforce
+        return results
+
+    # ------------------------------------------------------------------
+    # Convenience API (used by examples and tests)
+    # ------------------------------------------------------------------
+
+    def put(
+        self,
+        fingerprint: str,
+        key: str,
+        value: bytes,
+        now: float = 0.0,
+        **kwargs,
+    ) -> Response:
+        return self.handle(
+            Request(method="put", key=key, value=value, **kwargs),
+            fingerprint,
+            now=now,
+        )
+
+    def get(
+        self, fingerprint: str, key: str, now: float = 0.0, **kwargs
+    ) -> Response:
+        return self.handle(
+            Request(method="get", key=key, **kwargs), fingerprint, now=now
+        )
+
+    def delete(
+        self, fingerprint: str, key: str, now: float = 0.0, **kwargs
+    ) -> Response:
+        return self.handle(
+            Request(method="delete", key=key, **kwargs), fingerprint, now=now
+        )
+
+    def put_policy(self, fingerprint: str, source: str) -> Response:
+        return self.handle(
+            Request(method="put_policy", value=source.encode()), fingerprint
+        )

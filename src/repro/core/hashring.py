@@ -1,0 +1,253 @@
+"""Consistent-hash placement for dynamic drive membership.
+
+§3.1: "While the current prototype uses a static configuration,
+support for dynamically adding and removing disks to a controller
+instance can be added in the future (e.g., using consistent
+hashing)."  This module adds it: a classic consistent-hash ring with
+virtual nodes, plus the migration planner that computes which objects
+must move when membership changes — the property that makes
+consistent hashing worthwhile is that only ~K/N of keys move.
+
+:class:`ElasticStore` wires the ring into an
+:class:`~repro.core.store.ObjectStore` and performs the actual data
+movement through the ordinary (encrypted, replicated) read/write
+paths, so migrated objects remain protected end to end.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+def _hash_point(label: str) -> int:
+    return int.from_bytes(
+        hashlib.sha256(label.encode()).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Consistent-hash ring over drive names with virtual nodes."""
+
+    def __init__(self, drives: list[str] | None = None, vnodes: int = 64):
+        if vnodes < 1:
+            raise ConfigurationError("need at least one virtual node")
+        self.vnodes = vnodes
+        self._points: list[int] = []
+        self._owners: dict[int, str] = {}
+        self._drives: set[str] = set()
+        for drive in drives or []:
+            self.add_drive(drive)
+
+    def __len__(self) -> int:
+        return len(self._drives)
+
+    @property
+    def drives(self) -> set:
+        return set(self._drives)
+
+    def add_drive(self, drive: str) -> None:
+        if drive in self._drives:
+            raise ConfigurationError(f"drive {drive!r} already on the ring")
+        self._drives.add(drive)
+        for vnode in range(self.vnodes):
+            point = _hash_point(f"{drive}#{vnode}")
+            if point in self._owners:  # vanishingly rare 64-bit collision
+                continue
+            bisect.insort(self._points, point)
+            self._owners[point] = drive
+
+    def remove_drive(self, drive: str) -> None:
+        if drive not in self._drives:
+            raise ConfigurationError(f"drive {drive!r} not on the ring")
+        self._drives.remove(drive)
+        for vnode in range(self.vnodes):
+            point = _hash_point(f"{drive}#{vnode}")
+            if self._owners.get(point) != drive:
+                continue
+            index = bisect.bisect_left(self._points, point)
+            del self._points[index]
+            del self._owners[point]
+
+    def placement(self, key: str, replicas: int = 1) -> list[str]:
+        """The first ``replicas`` distinct drives clockwise from the key."""
+        if not self._drives:
+            raise ConfigurationError("ring is empty")
+        count = min(replicas, len(self._drives))
+        start = bisect.bisect_right(self._points, _hash_point(key))
+        owners: list[str] = []
+        for offset in range(len(self._points)):
+            point = self._points[(start + offset) % len(self._points)]
+            owner = self._owners[point]
+            if owner not in owners:
+                owners.append(owner)
+                if len(owners) == count:
+                    break
+        return owners
+
+
+@dataclass
+class MigrationPlan:
+    """Objects whose placement changes with a membership change."""
+
+    moves: list = field(default_factory=list)  # (key, old_drives, new_drives)
+
+    def __len__(self) -> int:
+        return len(self.moves)
+
+
+class ElasticStore:
+    """Dynamic membership on top of an ObjectStore.
+
+    The wrapped store's drive clients are indexed by position;
+    the ring works with drive ids and this class maps between them.
+    """
+
+    def __init__(self, store, drive_ids: list[str], vnodes: int = 64):
+        if len(drive_ids) != len(store.clients):
+            raise ConfigurationError("one drive id per store client")
+        self.store = store
+        self._ids = list(drive_ids)
+        self.ring = HashRing(drive_ids, vnodes=vnodes)
+        # Swap the store's placement to ring-based.
+        store._replicas = self._replicas  # type: ignore[method-assign]
+        #: Keys this store has written (the migration work-list; a
+        #: production system would scan the drives' keyspaces).
+        self.known_keys: set = set()
+
+    def _index_of(self, drive_id: str) -> int:
+        return self._ids.index(drive_id)
+
+    def _replicas(self, key: str) -> list[int]:
+        return [
+            self._index_of(drive_id)
+            for drive_id in self.ring.placement(
+                key, self.store.replication_factor
+            )
+        ]
+
+    # -- tracked writes -----------------------------------------------------
+
+    def store_version(self, meta, value: bytes, policy_hash: str = ""):
+        self.known_keys.add(meta.key)
+        return self.store.store_version(meta, value, policy_hash)
+
+    def read_value(self, key: str, version: int) -> bytes:
+        return self.store.read_value(key, version)
+
+    def read_meta(self, key: str):
+        return self.store.read_meta(key)
+
+    # -- membership changes --------------------------------------------------
+
+    def plan(self, change, drive_id: str) -> MigrationPlan:
+        """Placement diff for adding/removing ``drive_id``."""
+        before = {
+            key: self.ring.placement(key, self.store.replication_factor)
+            for key in self.known_keys
+        }
+        change(drive_id)  # mutate the ring
+        plan = MigrationPlan()
+        for key, old in before.items():
+            new = self.ring.placement(key, self.store.replication_factor)
+            if new != old:
+                plan.moves.append((key, old, new))
+        return plan
+
+    def add_drive(self, drive_id: str, client) -> MigrationPlan:
+        """Join a drive and migrate the objects that now map to it."""
+        self.store.clients.append(client)
+        self._ids.append(drive_id)
+        plan = self.plan(self.ring.add_drive, drive_id)
+        self._migrate(plan)
+        return plan
+
+    def remove_drive(self, drive_id: str) -> MigrationPlan:
+        """Drain a drive: move its objects, then drop it from the ring."""
+        if drive_id not in self.ring.drives:
+            raise ConfigurationError(f"unknown drive {drive_id!r}")
+        plan = self.plan(self.ring.remove_drive, drive_id)
+        self._migrate(plan, draining=self._index_of(drive_id))
+        index = self._index_of(drive_id)
+        del self.store.clients[index]
+        del self._ids[index]
+        return plan
+
+    def _migrate(self, plan: MigrationPlan, draining: int | None = None):
+        """Re-write each moved object under its new placement.
+
+        Reads go through the old replicas (still intact), writes
+        through the new ring placement; stale copies on drives no
+        longer responsible are deleted.
+        """
+        for key, old, new in plan.moves:
+            meta = self._read_meta_from(key, old, draining)
+            if meta is None:
+                continue
+            for version in meta.versions:
+                slot = self.store._slot(version)
+                value = self._read_value_from(key, slot, old, draining)
+                blob_aad = (
+                    b"val:" + key.encode() + b":" + str(slot).encode()
+                )
+                sealed = self.store._seal(value, blob_aad)
+                self.store._write_all_replicas(
+                    key, self.store.value_key(key, slot), sealed
+                )
+            self.store.write_meta(meta)
+            # Remove copies from drives that no longer own the key.
+            new_indices = set(self._replicas(key))
+            for drive_id in old:
+                index = self._index_of(drive_id)
+                if index in new_indices:
+                    continue
+                client = self.store.clients[index]
+                for version in meta.versions:
+                    slot = self.store._slot(version)
+                    self._quiet_delete(
+                        client, self.store.value_key(key, slot)
+                    )
+                self._quiet_delete(client, self.store.meta_key(key))
+
+    def _read_meta_from(self, key, old_drive_ids, draining):
+        from repro.core.store import StoredMeta
+
+        blob = self._read_blob_from(
+            key, self.store.meta_key(key), old_drive_ids, draining
+        )
+        if blob is None:
+            return None
+        return StoredMeta.decode(
+            self.store._open(blob, b"meta:" + key.encode())
+        )
+
+    def _read_value_from(self, key, slot, old_drive_ids, draining):
+        blob = self._read_blob_from(
+            key, self.store.value_key(key, slot), old_drive_ids, draining
+        )
+        aad = b"val:" + key.encode() + b":" + str(slot).encode()
+        return self.store._open(blob, aad)
+
+    def _read_blob_from(self, key, disk_key, old_drive_ids, draining):
+        from repro.errors import DriveOffline, KineticNotFound
+
+        for drive_id in old_drive_ids:
+            index = self._index_of(drive_id)
+            try:
+                blob, _version = self.store.clients[index].get(disk_key)
+                return blob
+            except (KineticNotFound, DriveOffline):
+                continue
+        return None
+
+    @staticmethod
+    def _quiet_delete(client, disk_key) -> None:
+        from repro.errors import DriveOffline, KineticNotFound
+
+        try:
+            client.delete(disk_key, force=True)
+        except (KineticNotFound, DriveOffline):
+            pass

@@ -1,0 +1,221 @@
+"""Client request and response model (the REST surface, §4.1).
+
+A Pesos POST request carries at most four parameters — method, key,
+value, policy id — plus optional version/certificate/async extras.
+:func:`parse_http_request` and :func:`render_http_response` provide the
+actual HTTP framing for clients that speak bytes; the controller and
+all benchmarks work on the structured :class:`Request` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from urllib.parse import parse_qs, quote, unquote, urlparse
+
+from repro.errors import RequestError
+
+#: Methods the request handler accepts.
+METHODS = frozenset(
+    {
+        "put",
+        "get",
+        "delete",
+        "put_policy",
+        "get_policy",
+        "attest",
+        "status",
+        "create_tx",
+        "add_read",
+        "add_write",
+        "commit_tx",
+        "abort_tx",
+        "tx_results",
+    }
+)
+
+#: Methods eligible for the asynchronous interface (§4.1: put, update,
+#: delete, and transactions; GETs and session management are always
+#: synchronous).
+ASYNC_METHODS = frozenset({"put", "delete", "commit_tx"})
+
+
+@dataclass
+class Request:
+    """One parsed client request."""
+
+    method: str
+    key: str = ""
+    value: bytes = b""
+    policy_id: str = ""
+    version: int | None = None
+    certificates: list = field(default_factory=list)
+    asynchronous: bool = False
+    txid: str = ""
+    operation_id: str = ""
+    log_key: str = ""
+
+    def validate(self) -> None:
+        if self.method not in METHODS:
+            raise RequestError(f"unknown method {self.method!r}")
+        if self.asynchronous and self.method not in ASYNC_METHODS:
+            raise RequestError(
+                f"method {self.method!r} does not support the async interface"
+            )
+        if self.method in (
+            "put", "get", "delete", "attest", "add_read", "add_write"
+        ):
+            if not self.key:
+                raise RequestError(f"{self.method} requires a key")
+        if self.method == "put_policy" and not self.value:
+            raise RequestError("put_policy requires policy source as value")
+        if self.method == "status" and not self.operation_id:
+            raise RequestError("status requires an operation id")
+
+
+@dataclass
+class Response:
+    """The controller's answer to one request."""
+
+    status: int = 200
+    value: bytes = b""
+    error: str = ""
+    version: int | None = None
+    policy_id: str = ""
+    operation_id: str = ""
+    txid: str = ""
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+# ---------------------------------------------------------------------------
+# HTTP framing
+# ---------------------------------------------------------------------------
+
+def parse_http_request(raw: bytes) -> Request:
+    """Parse an HTTP/1.1 POST into a :class:`Request`.
+
+    The URL path is ``/<method>/<key>``; query parameters carry policy
+    id, version, async flag, txid, operation id and log key; the body
+    is the value.
+    """
+    try:
+        head, _, body = raw.partition(b"\r\n\r\n")
+        request_line = head.split(b"\r\n", 1)[0].decode()
+        verb, target, _version = request_line.split(" ", 2)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise RequestError(f"malformed HTTP request: {exc}") from exc
+    if verb != "POST":
+        raise RequestError(f"only POST is supported, got {verb}")
+    parsed = urlparse(target)
+    parts = [part for part in parsed.path.split("/") if part]
+    if not parts:
+        raise RequestError("missing method in URL path")
+    method = parts[0]
+    key = unquote("/".join(parts[1:])) if len(parts) > 1 else ""
+    params = parse_qs(parsed.query)
+
+    def single(name: str, default: str = "") -> str:
+        values = params.get(name)
+        return values[0] if values else default
+
+    version_text = single("version")
+    request = Request(
+        method=method,
+        key=key,
+        value=body,
+        policy_id=single("policy"),
+        version=int(version_text) if version_text else None,
+        asynchronous=single("async") in ("1", "true"),
+        txid=single("txid"),
+        operation_id=single("op"),
+        log_key=unquote(single("log")),
+    )
+    request.validate()
+    return request
+
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    409: "Conflict",
+    410: "Gone",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def render_http_response(response: Response) -> bytes:
+    """Serialize a :class:`Response` as HTTP/1.1 bytes."""
+    reason = _REASONS.get(response.status, "Unknown")
+    headers = [f"HTTP/1.1 {response.status} {reason}"]
+    if response.version is not None:
+        headers.append(f"X-Pesos-Version: {response.version}")
+    if response.policy_id:
+        headers.append(f"X-Pesos-Policy: {response.policy_id}")
+    if response.operation_id:
+        headers.append(f"X-Pesos-Operation: {response.operation_id}")
+    if response.txid:
+        headers.append(f"X-Pesos-Txid: {response.txid}")
+    if response.error:
+        headers.append(f"X-Pesos-Error: {quote(response.error)}")
+    body = response.value
+    headers.append(f"Content-Length: {len(body)}")
+    return ("\r\n".join(headers) + "\r\n\r\n").encode() + body
+
+
+def build_http_request(request: Request) -> bytes:
+    """Serialize a :class:`Request` as HTTP bytes (client side)."""
+    query = []
+    if request.policy_id:
+        query.append(f"policy={request.policy_id}")
+    if request.version is not None:
+        query.append(f"version={request.version}")
+    if request.asynchronous:
+        query.append("async=1")
+    if request.txid:
+        query.append(f"txid={request.txid}")
+    if request.operation_id:
+        query.append(f"op={request.operation_id}")
+    if request.log_key:
+        query.append(f"log={quote(request.log_key, safe='')}")
+    path = f"/{request.method}"
+    if request.key:
+        path += f"/{quote(request.key, safe='')}"
+    if query:
+        path += "?" + "&".join(query)
+    head = (
+        f"POST {path} HTTP/1.1\r\n"
+        f"Content-Length: {len(request.value)}\r\n"
+    )
+    return head.encode() + b"\r\n" + request.value
+
+
+def parse_http_response(raw: bytes) -> Response:
+    """Parse HTTP response bytes back into a :class:`Response`."""
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode().split("\r\n")
+    status = int(lines[0].split(" ", 2)[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(": ")
+        headers[name] = value
+    return Response(
+        status=status,
+        value=body,
+        version=(
+            int(headers["X-Pesos-Version"])
+            if "X-Pesos-Version" in headers
+            else None
+        ),
+        policy_id=headers.get("X-Pesos-Policy", ""),
+        operation_id=headers.get("X-Pesos-Operation", ""),
+        txid=headers.get("X-Pesos-Txid", ""),
+        error=unquote(headers.get("X-Pesos-Error", "")),
+    )

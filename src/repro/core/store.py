@@ -1,0 +1,435 @@
+"""The object store over Kinetic drives.
+
+Key layout on the drives (all values encrypted before leaving the
+controller, §2.2)::
+
+    m/<key>              object metadata: current version, policy
+                         binding, per-version size/hash records
+    v/<key>/<version>    object content for one version
+    p/<policy-hash>      compiled policy blobs
+
+Placement (§4.5): a deterministic hash of the object key picks the
+primary drive; replicas go on the following positions in the drive
+list.  No replication metadata is kept anywhere.  On a drive failure,
+reads fail over to the next replica in placement order.
+
+Writes are write-through (§3.2): content first, then metadata, on
+every replica.  A write reports success only if every replica of the
+placement persisted it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from dataclasses import dataclass, field
+
+from repro.core.effects import (
+    DECRYPT,
+    DISK_DELETE,
+    DISK_READ,
+    DISK_WRITE,
+    ENCRYPT,
+    NullRecorder,
+)
+from repro.crypto.aead import StreamAead
+from repro.errors import ConfigurationError, DriveOffline, KineticNotFound
+from repro.policy.context import ObjectView, VersionInfo, parse_content_tuples
+from repro.kinetic.protocol import decode_fields, encode_fields
+
+
+@dataclass
+class VersionMeta:
+    """Metadata for one stored version of an object."""
+
+    version: int
+    size: int
+    content_hash: str
+    policy_hash: str = ""
+
+
+@dataclass
+class StoredMeta:
+    """Per-object metadata record (the ``m/<key>`` value)."""
+
+    key: str
+    current_version: int = -1  # -1 = no version written yet
+    policy_id: str = ""
+    versions: dict = field(default_factory=dict)  # version -> VersionMeta
+
+    @property
+    def exists(self) -> bool:
+        return self.current_version >= 0
+
+    def latest(self) -> VersionMeta | None:
+        return self.versions.get(self.current_version)
+
+    def weight(self) -> int:
+        """Approximate in-memory size, for the key-cache budget."""
+        return 96 + len(self.key) + 80 * len(self.versions)
+
+    def encode(self) -> bytes:
+        return encode_fields(
+            {
+                "key": self.key,
+                "cv": self.current_version + 1,  # varints are unsigned
+                "policy": self.policy_id,
+                "versions": [
+                    [m.version, m.size, m.content_hash, m.policy_hash]
+                    for m in sorted(
+                        self.versions.values(), key=lambda m: m.version
+                    )
+                ],
+            }
+        )
+
+    @classmethod
+    def decode(cls, blob: bytes) -> "StoredMeta":
+        fields_ = decode_fields(blob)
+        meta = cls(
+            key=fields_["key"],
+            current_version=int(fields_["cv"]) - 1,
+            policy_id=fields_["policy"],
+        )
+        for version, size, content_hash, policy_hash in fields_["versions"]:
+            meta.versions[int(version)] = VersionMeta(
+                version=int(version),
+                size=int(size),
+                content_hash=content_hash,
+                policy_hash=policy_hash,
+            )
+        return meta
+
+
+def placement(key: str, num_drives: int, replication_factor: int) -> list[int]:
+    """Deterministic drive placement: primary + following positions."""
+    digest = hashlib.sha256(key.encode()).digest()
+    primary = int.from_bytes(digest[:8], "big") % num_drives
+    count = min(replication_factor, num_drives)
+    return [(primary + offset) % num_drives for offset in range(count)]
+
+
+class ObjectStore:
+    """Encrypted, replicated object storage over Kinetic clients."""
+
+    def __init__(
+        self,
+        clients: list,
+        storage_key: bytes,
+        replication_factor: int = 1,
+        keep_history: bool = True,
+        effects=None,
+        aead_factory=StreamAead,
+        version_metadata_window: int | None = None,
+    ):
+        if not clients:
+            raise ConfigurationError("store needs at least one drive client")
+        self.clients = clients
+        self.replication_factor = max(1, replication_factor)
+        self.keep_history = keep_history
+        #: When set, only the newest N versions keep per-version
+        #: metadata (size/hash/policy-hash) in the hot ``m/`` record;
+        #: older version *values* stay on disk but are no longer
+        #: addressable through the API.  Bounds metadata growth for
+        #: frequently rewritten versioned objects.
+        self.version_metadata_window = version_metadata_window
+        self.effects = effects or NullRecorder()
+        self._aead = aead_factory(storage_key)
+
+    # -- placement and failover -------------------------------------------
+
+    def _replicas(self, key: str) -> list[int]:
+        return placement(key, len(self.clients), self.replication_factor)
+
+    def _read_with_failover(self, object_key: str, disk_key: bytes) -> bytes:
+        last_error: Exception | None = None
+        for index in self._replicas(object_key):
+            client = self.clients[index]
+            try:
+                value, _version = client.get(disk_key)
+                self.effects.record(DISK_READ, index, len(value))
+                return value
+            except DriveOffline as exc:
+                last_error = exc
+                continue
+        raise last_error or KineticNotFound(object_key)
+
+    def _write_all_replicas(self, object_key: str, disk_key: bytes,
+                            blob: bytes) -> None:
+        wrote = 0
+        for index in self._replicas(object_key):
+            client = self.clients[index]
+            try:
+                client.put(disk_key, blob, force=True)
+                self.effects.record(DISK_WRITE, index, len(blob))
+                wrote += 1
+            except DriveOffline:
+                continue
+        if wrote == 0:
+            raise DriveOffline(
+                f"no replica of {object_key!r} accepted the write"
+            )
+
+    def _delete_all_replicas(self, object_key: str, disk_key: bytes) -> None:
+        for index in self._replicas(object_key):
+            client = self.clients[index]
+            try:
+                client.delete(disk_key, force=True)
+                self.effects.record(DISK_DELETE, index, 0)
+            except (DriveOffline, KineticNotFound):
+                continue
+
+    # -- encryption ------------------------------------------------------------
+
+    def _seal(self, blob: bytes, aad: bytes) -> bytes:
+        nonce = secrets.token_bytes(12)
+        self.effects.record(ENCRYPT, len(blob))
+        return nonce + self._aead.seal(nonce, blob, aad)
+
+    def _open(self, blob: bytes, aad: bytes) -> bytes:
+        self.effects.record(DECRYPT, len(blob))
+        return self._aead.open(blob[:12], blob[12:], aad)
+
+    # -- metadata ---------------------------------------------------------------
+
+    @staticmethod
+    def meta_key(key: str) -> bytes:
+        return b"m/" + key.encode()
+
+    #: Version slot used when history is disabled: the value lives at a
+    #: single key and updates overwrite in place (one drive PUT, no
+    #: delete), like any plain key-value store.
+    LATEST_SLOT = 0xFFFFFFFFFFFFFFFF
+
+    @staticmethod
+    def value_key(key: str, version: int) -> bytes:
+        return b"v/" + key.encode() + b"/" + version.to_bytes(8, "big")
+
+    def _slot(self, version: int) -> int:
+        return version if self.keep_history else self.LATEST_SLOT
+
+    @staticmethod
+    def policy_key(policy_id: str) -> bytes:
+        return b"p/" + policy_id.encode()
+
+    def read_meta(self, key: str) -> StoredMeta | None:
+        """Fetch object metadata from disk; None when absent."""
+        try:
+            blob = self._read_with_failover(key, self.meta_key(key))
+        except KineticNotFound:
+            return None
+        return StoredMeta.decode(self._open(blob, b"meta:" + key.encode()))
+
+    def write_meta(self, meta: StoredMeta) -> None:
+        blob = self._seal(meta.encode(), b"meta:" + meta.key.encode())
+        self._write_all_replicas(meta.key, self.meta_key(meta.key), blob)
+
+    # -- object content ------------------------------------------------------------
+
+    def read_value(self, key: str, version: int) -> bytes:
+        slot = self._slot(version)
+        aad = b"val:" + key.encode() + b":" + str(slot).encode()
+        blob = self._read_with_failover(key, self.value_key(key, slot))
+        return self._open(blob, aad)
+
+    def write_value(self, key: str, version: int, value: bytes) -> None:
+        slot = self._slot(version)
+        aad = b"val:" + key.encode() + b":" + str(slot).encode()
+        blob = self._seal(value, aad)
+        self._write_all_replicas(key, self.value_key(key, slot), blob)
+
+    def delete_value(self, key: str, version: int) -> None:
+        self._delete_all_replicas(key, self.value_key(key, self._slot(version)))
+
+    # -- whole-object operations -----------------------------------------------------
+
+    def store_version(
+        self, meta: StoredMeta, value: bytes, policy_hash: str
+    ) -> StoredMeta:
+        """Write the next version of an object (content then metadata)."""
+        new_version = meta.current_version + 1
+        self.write_value(meta.key, new_version, value)
+        old = meta.latest()
+        meta.current_version = new_version
+        meta.versions[new_version] = VersionMeta(
+            version=new_version,
+            size=len(value),
+            content_hash=hashlib.sha256(value).hexdigest(),
+            policy_hash=policy_hash,
+        )
+        window = self.version_metadata_window
+        if window is not None and len(meta.versions) > window:
+            for stale in sorted(meta.versions)[:-window]:
+                del meta.versions[stale]
+        self.write_meta(meta)
+        if not self.keep_history and old is not None:
+            # The new value overwrote the latest slot in place; only
+            # the metadata record needs pruning.
+            del meta.versions[old.version]
+        return meta
+
+    def delete_object(self, meta: StoredMeta) -> None:
+        """Remove every version and the metadata record."""
+        slots_seen = set()
+        for version in list(meta.versions):
+            slot = self._slot(version)
+            if slot in slots_seen:
+                continue
+            slots_seen.add(slot)
+            self.delete_value(meta.key, version)
+        self._delete_all_replicas(meta.key, self.meta_key(meta.key))
+
+    # -- integrity maintenance ---------------------------------------------------
+
+    def scrub(self, meta: StoredMeta) -> list:
+        """Audit every replica of every version of an object.
+
+        Reads each replica directly (no failover), decrypts, and
+        compares the content hash against the metadata record.
+        Returns ``(version, drive_index, status)`` tuples with status
+        ``ok`` / ``missing`` / ``corrupt`` / ``offline``.
+        """
+        report = []
+        for version_meta in meta.versions.values():
+            slot = self._slot(version_meta.version)
+            disk_key = self.value_key(meta.key, slot)
+            aad = b"val:" + meta.key.encode() + b":" + str(slot).encode()
+            for index in self._replicas(meta.key):
+                client = self.clients[index]
+                try:
+                    blob, _version = client.get(disk_key)
+                    value = self._open(blob, aad)
+                    digest = hashlib.sha256(value).hexdigest()
+                    status = (
+                        "ok" if digest == version_meta.content_hash
+                        else "corrupt"
+                    )
+                except DriveOffline:
+                    status = "offline"
+                except KineticNotFound:
+                    status = "missing"
+                except Exception:  # noqa: BLE001 - tamper shows as decrypt fail
+                    status = "corrupt"
+                report.append((version_meta.version, index, status))
+        return report
+
+    def repair(self, meta: StoredMeta) -> int:
+        """Re-write missing/corrupt replicas from a healthy copy.
+
+        Used after a failed drive returns (anti-entropy).  Returns the
+        number of replica blobs rewritten; versions with no healthy
+        replica at all are left untouched (unrecoverable).
+        """
+        report = self.scrub(meta)
+        healthy: dict[int, int] = {}
+        for version, drive_index, status in report:
+            if status == "ok" and version not in healthy:
+                healthy[version] = drive_index
+        repaired = 0
+        for version, drive_index, status in report:
+            if status in ("ok", "offline"):
+                continue
+            source = healthy.get(version)
+            if source is None:
+                continue
+            slot = self._slot(version)
+            disk_key = self.value_key(meta.key, slot)
+            aad = b"val:" + meta.key.encode() + b":" + str(slot).encode()
+            blob, _version = self.clients[source].get(disk_key)
+            value = self._open(blob, aad)
+            resealed = self._seal(value, aad)
+            try:
+                self.clients[drive_index].put(disk_key, resealed, force=True)
+                self.effects.record(DISK_WRITE, drive_index, len(resealed))
+                repaired += 1
+            except DriveOffline:
+                continue
+        # Ensure the metadata record is present everywhere too.
+        self.write_meta(meta)
+        return repaired
+
+    # -- policies -----------------------------------------------------------------------
+
+    def write_policy(self, policy_id: str, blob: bytes) -> None:
+        aad = b"policy:" + policy_id.encode()
+        sealed = self._seal(blob, aad)
+        self._write_all_replicas(policy_id, self.policy_key(policy_id), sealed)
+
+    def read_policy(self, policy_id: str) -> bytes | None:
+        try:
+            blob = self._read_with_failover(
+                policy_id, self.policy_key(policy_id)
+            )
+        except KineticNotFound:
+            return None
+        return self._open(blob, b"policy:" + policy_id.encode())
+
+
+class StoreBackedView(ObjectView):
+    """An :class:`ObjectView` that lazily reads content for ``objSays``.
+
+    Size/hash/policy-hash come from metadata without touching content;
+    content tuples are fetched (through the object cache) only when a
+    policy actually inspects them — and cached, per §4.2 ("we cache
+    objects accessed during policy evaluation").
+    """
+
+    def __init__(self, meta: StoredMeta, store: ObjectStore, cache=None):
+        super().__init__(
+            object_id=meta.key, current_version=meta.current_version
+        )
+        self._meta = meta
+        self._store = store
+        self._cache = cache
+        self._infos: dict[int, VersionInfo] = {}
+
+    def info(self, version: int) -> VersionInfo | None:
+        if version in self._infos:
+            return self._infos[version]
+        version_meta = self._meta.versions.get(version)
+        if version_meta is None:
+            return None
+        info = _LazyVersionInfo(
+            size=version_meta.size,
+            content_hash=version_meta.content_hash,
+            policy_hash=version_meta.policy_hash,
+            loader=self._load_content,
+            version=version,
+        )
+        self._infos[version] = info
+        return info
+
+    def _load_content(self, version: int) -> bytes:
+        cache_key = f"{self.object_id}@{version}"
+        if self._cache is not None:
+            cached = self._cache.get_object(cache_key)
+            if cached is not None:
+                return cached
+        value = self._store.read_value(self.object_id, version)
+        if self._cache is not None:
+            self._cache.put_object(cache_key, value)
+        return value
+
+
+class _LazyVersionInfo(VersionInfo):
+    """VersionInfo whose tuple facts load on first access."""
+
+    def __init__(self, size, content_hash, policy_hash, loader, version):
+        super().__init__(
+            size=size, content_hash=content_hash, policy_hash=policy_hash
+        )
+        self._loader = loader
+        self._version = version
+        self._loaded = False
+
+    @property
+    def tuples(self):  # type: ignore[override]
+        if not self._loaded:
+            self._tuples = parse_content_tuples(self._loader(self._version))
+            self._loaded = True
+        return self._tuples
+
+    @tuples.setter
+    def tuples(self, value):
+        self._tuples = value
+        self._loaded = True

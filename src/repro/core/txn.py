@@ -1,0 +1,157 @@
+"""ACID multi-object transactions via a VLL variant (§4.4).
+
+Pesos adapts the VLL lock manager (Ren et al.): a committing
+transaction tries to take all of its locks at once.  If every lock was
+free it executes immediately; otherwise it joins the transaction
+queue, and VLL's ordering guarantees that by the time a blocked
+transaction reaches the *front* of the queue, every lock it needs is
+held only by itself — so the front can always run.
+
+Unlike the original in-memory-database implementation, the lock table
+here is a small dict keyed by object keys, since only a fraction of
+keys are expected to see transactional access.  Non-transactional
+requests deliberately bypass the lock table; overlapping them with a
+transaction on the same keys is unspecified (the paper leaves
+avoidance to clients or policies).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import TransactionError
+
+OPEN = "open"
+QUEUED = "queued"
+COMMITTED = "committed"
+ABORTED = "aborted"
+
+
+@dataclass
+class Transaction:
+    """One client transaction being assembled and committed."""
+
+    txid: str
+    fingerprint: str
+    state: str = OPEN
+    reads: list = field(default_factory=list)
+    writes: dict = field(default_factory=dict)  # key -> (value, policy_id)
+    results: dict = field(default_factory=dict)
+    error: str = ""
+
+    def keys(self) -> list:
+        ordered = list(dict.fromkeys(self.reads))
+        for key in self.writes:
+            if key not in ordered:
+                ordered.append(key)
+        return ordered
+
+    def _require_open(self) -> None:
+        if self.state != OPEN:
+            raise TransactionError(
+                f"transaction {self.txid} is {self.state}, not open"
+            )
+
+    def add_read(self, key: str) -> None:
+        self._require_open()
+        self.reads.append(key)
+
+    def add_write(self, key: str, value: bytes, policy_id: str = "") -> None:
+        self._require_open()
+        self.writes[key] = (value, policy_id)
+
+
+class VllManager:
+    """Lock table + transaction queue (exclusive locks only)."""
+
+    def __init__(self, executor: Callable[[Transaction], dict]):
+        self._executor = executor
+        self._locks: dict[str, int] = {}
+        self._queue: deque[Transaction] = deque()
+        self._transactions: dict[str, Transaction] = {}
+        self._ids = itertools.count(1)
+        self.executed_immediately = 0
+        self.executed_from_queue = 0
+        self.aborted = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def create(self, fingerprint: str) -> Transaction:
+        txid = f"tx-{next(self._ids):06d}"
+        tx = Transaction(txid=txid, fingerprint=fingerprint)
+        self._transactions[txid] = tx
+        return tx
+
+    def get(self, txid: str, fingerprint: str) -> Transaction:
+        tx = self._transactions.get(txid)
+        if tx is None or tx.fingerprint != fingerprint:
+            raise TransactionError(f"no transaction {txid!r}")
+        return tx
+
+    def abort(self, tx: Transaction) -> None:
+        if tx.state == QUEUED:
+            self._queue.remove(tx)
+            self._unlock(tx)
+        elif tx.state != OPEN:
+            raise TransactionError(f"cannot abort {tx.state} transaction")
+        tx.state = ABORTED
+        self.aborted += 1
+
+    # -- VLL commit path --------------------------------------------------------
+
+    def commit(self, tx: Transaction) -> Transaction:
+        """Try to run ``tx``; it either executes now or queues."""
+        tx._require_open()
+        keys = tx.keys()
+        blocked = any(self._locks.get(key, 0) > 0 for key in keys)
+        for key in keys:
+            self._locks[key] = self._locks.get(key, 0) + 1
+        if blocked:
+            tx.state = QUEUED
+            self._queue.append(tx)
+        else:
+            self._run(tx)
+            self.executed_immediately += 1
+            self._drain_queue()
+        return tx
+
+    def _run(self, tx: Transaction) -> None:
+        try:
+            tx.results = self._executor(tx)
+            tx.state = COMMITTED
+        except TransactionError as exc:
+            tx.state = ABORTED
+            tx.error = str(exc)
+            self.aborted += 1
+        finally:
+            self._unlock(tx)
+
+    def _unlock(self, tx: Transaction) -> None:
+        for key in tx.keys():
+            remaining = self._locks.get(key, 0) - 1
+            if remaining <= 0:
+                self._locks.pop(key, None)
+            else:
+                self._locks[key] = remaining
+
+    def _drain_queue(self) -> None:
+        # VLL guarantee: the queue front's keys are now held only by
+        # itself, so it can always execute; execution may in turn
+        # unblock the next front, so keep draining.
+        while self._queue:
+            front = self._queue.popleft()
+            front.state = OPEN
+            self._run(front)
+            self.executed_from_queue += 1
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def locked_keys(self) -> set:
+        return set(self._locks)

@@ -1,0 +1,120 @@
+"""The embedded web server (the paper's mongoose stand-in, §3.1-§3.2).
+
+Terminates client connections, parses HTTP POST requests, hands them
+to the request handler, and renders responses — steps 2-3 of the
+paper's request flow.  Two front-ends share the parsing logic:
+
+- :meth:`WebServer.handle_bytes` — raw HTTP bytes in, raw HTTP bytes
+  out, for clients that speak the wire format.
+- :meth:`WebServer.accept` — establishes a mutually-authenticated
+  secure channel (the TLS session) and returns a
+  :class:`ClientConnection` that decrypts requests, authenticates the
+  client by certificate fingerprint, and encrypts responses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.controller import PesosController
+from repro.core.request import (
+    Response,
+    parse_http_request,
+    render_http_response,
+)
+from repro.crypto.certs import KeyPair, TrustStore
+from repro.crypto.channel import SecureChannel, establish_channel
+from repro.errors import PesosError
+
+
+@dataclass
+class ServerStats:
+    requests: int = 0
+    errors: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+
+
+class WebServer:
+    """Connection handling + HTTP parsing in front of the controller."""
+
+    def __init__(
+        self,
+        controller: PesosController,
+        server_keys: KeyPair | None = None,
+        client_trust: TrustStore | None = None,
+    ):
+        self.controller = controller
+        self.server_keys = server_keys
+        self.client_trust = client_trust
+        self.stats = ServerStats()
+
+    # -- plain HTTP front-end ---------------------------------------------
+
+    def handle_bytes(
+        self, raw: bytes, fingerprint: str, now: float = 0.0
+    ) -> bytes:
+        """One request/response cycle over raw HTTP bytes.
+
+        ``fingerprint`` identifies the authenticated client (in the
+        TLS front-end it comes from the session's peer certificate).
+        """
+        self.stats.requests += 1
+        self.stats.bytes_in += len(raw)
+        try:
+            request = parse_http_request(raw)
+            response = self.controller.handle(request, fingerprint, now)
+        except PesosError as exc:
+            response = Response(status=exc.status, error=str(exc))
+        if not response.ok:
+            self.stats.errors += 1
+        rendered = render_http_response(response)
+        self.stats.bytes_out += len(rendered)
+        return rendered
+
+    # -- TLS front-end ----------------------------------------------------------
+
+    def accept(
+        self, client_keys: KeyPair, now: float = 0.0
+    ) -> tuple["ClientConnection", SecureChannel]:
+        """Run the handshake with a connecting client.
+
+        Returns the server-side connection object and the *client's*
+        channel endpoint (which a real deployment would hold on the
+        other end of the network).
+        """
+        if self.server_keys is None or self.client_trust is None:
+            raise PesosError("server has no TLS identity configured")
+        server_trust = self.client_trust
+        client_trust = TrustStore()
+        # The client must be able to verify the server certificate; in
+        # tests/examples both sides trust the same roots.
+        client_trust.authorities = list(server_trust.authorities)
+        client_end, server_end = establish_channel(
+            initiator=client_keys,
+            responder=self.server_keys,
+            initiator_trust=client_trust,
+            responder_trust=server_trust,
+            now=now,
+        )
+        return ClientConnection(server=self, channel=server_end), client_end
+
+
+@dataclass
+class ClientConnection:
+    """One authenticated TLS session terminated inside the enclave."""
+
+    server: WebServer
+    channel: SecureChannel
+    requests_served: int = field(default=0)
+
+    @property
+    def fingerprint(self) -> str:
+        return self.channel.peer_fingerprint
+
+    def serve(self, encrypted_request: bytes, now: float = 0.0) -> bytes:
+        """Decrypt, execute, and encrypt one request record."""
+        raw = self.channel.recv(encrypted_request)
+        response = self.server.handle_bytes(raw, self.fingerprint, now)
+        self.requests_served += 1
+        return self.channel.send(response)

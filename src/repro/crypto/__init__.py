@@ -1,0 +1,37 @@
+"""Cryptographic substrate.
+
+Pesos relies on OpenSSL for TLS, AES-GCM object encryption, and X.509
+client/disk identities.  This package provides functionally equivalent
+pure-Python primitives:
+
+- :mod:`repro.crypto.aes` — the AES block cipher (FIPS-197).
+- :mod:`repro.crypto.gcm` — AES-GCM authenticated encryption (SP 800-38D).
+- :mod:`repro.crypto.rsa` — RSA keygen and PKCS#1 v1.5 signatures.
+- :mod:`repro.crypto.certs` — certificates with chains and CA verification.
+- :mod:`repro.crypto.channel` — a mutually-authenticated secure channel
+  (the TLS stand-in used between clients, the controller, and drives).
+
+Pure Python is slow in wall-clock terms; benchmark experiments charge
+crypto cost in *virtual* time while the functional data path really
+encrypts, so confidentiality-relevant behaviour is always exercised.
+"""
+
+from repro.crypto.aes import AES
+from repro.crypto.certs import Certificate, CertificateAuthority, KeyPair
+from repro.crypto.gcm import AesGcm, GcmTagError
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey, generate_keypair
+from repro.crypto.channel import SecureChannel, establish_channel
+
+__all__ = [
+    "AES",
+    "AesGcm",
+    "Certificate",
+    "CertificateAuthority",
+    "GcmTagError",
+    "KeyPair",
+    "RsaPrivateKey",
+    "RsaPublicKey",
+    "SecureChannel",
+    "establish_channel",
+    "generate_keypair",
+]

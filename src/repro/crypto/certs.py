@@ -1,0 +1,233 @@
+"""Certificates, authorities, and chain verification.
+
+The X.509 stand-in used throughout the reproduction.  A certificate
+binds a subject name to an RSA public key and may carry *claims* —
+certified tuples such as ``time(1518652800)`` or ``group("staff")`` —
+which the policy predicate ``certificateSays`` inspects.
+
+Certificates serialize to canonical JSON so signatures are stable.
+"""
+
+from __future__ import annotations
+
+import json
+import secrets
+from dataclasses import dataclass, field, replace
+
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey, generate_keypair
+from repro.errors import CertificateError
+
+
+def _canonical(data: dict) -> bytes:
+    return json.dumps(data, sort_keys=True, separators=(",", ":")).encode()
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A signed binding of a subject to a public key plus claims."""
+
+    subject: str
+    public_key: RsaPublicKey
+    issuer: str
+    serial: int
+    not_before: float
+    not_after: float
+    claims: tuple = ()  # tuple of (name, args-tuple) claims
+    nonce: str = ""  # freshness nonce for time certificates
+    signature: bytes = b""
+
+    def tbs_bytes(self) -> bytes:
+        """Canonical to-be-signed byte string."""
+        return _canonical(
+            {
+                "subject": self.subject,
+                "public_key": self.public_key.to_dict(),
+                "issuer": self.issuer,
+                "serial": self.serial,
+                "not_before": self.not_before,
+                "not_after": self.not_after,
+                "claims": [
+                    [name, list(args)] for name, args in self.claims
+                ],
+                "nonce": self.nonce,
+            }
+        )
+
+    def fingerprint(self) -> str:
+        return self.public_key.fingerprint()
+
+    def is_valid_at(self, now: float) -> bool:
+        return self.not_before <= now <= self.not_after
+
+    def verify_signature(self, issuer_key: RsaPublicKey) -> bool:
+        return issuer_key.verify(self.tbs_bytes(), self.signature)
+
+    def claim_args(self, name: str) -> tuple | None:
+        """Arguments of the first claim with ``name``, or ``None``."""
+        for claim_name, args in self.claims:
+            if claim_name == name:
+                return args
+        return None
+
+    def to_dict(self) -> dict:
+        data = json.loads(self.tbs_bytes())
+        data["signature"] = self.signature.hex()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Certificate":
+        return cls(
+            subject=data["subject"],
+            public_key=RsaPublicKey.from_dict(data["public_key"]),
+            issuer=data["issuer"],
+            serial=int(data["serial"]),
+            not_before=float(data["not_before"]),
+            not_after=float(data["not_after"]),
+            claims=tuple(
+                (name, tuple(args)) for name, args in data.get("claims", [])
+            ),
+            nonce=data.get("nonce", ""),
+            signature=bytes.fromhex(data["signature"]),
+        )
+
+
+@dataclass
+class KeyPair:
+    """A private key together with its certificate."""
+
+    private_key: RsaPrivateKey
+    certificate: Certificate
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        return self.private_key.public_key
+
+    def fingerprint(self) -> str:
+        return self.public_key.fingerprint()
+
+
+class CertificateAuthority:
+    """Issues and verifies certificates; may itself be issued by a parent.
+
+    >>> ca = CertificateAuthority("root")
+    >>> alice = ca.issue_keypair("alice")
+    >>> ca.verify_chain(alice.certificate, now=0.0)
+    """
+
+    DEFAULT_LIFETIME = 10 * 365 * 24 * 3600.0
+
+    def __init__(
+        self,
+        name: str,
+        key_bits: int = 1024,
+        parent: "CertificateAuthority | None" = None,
+    ):
+        self.name = name
+        self.parent = parent
+        self._key = generate_keypair(bits=key_bits)
+        self._serial = 0
+        if parent is None:
+            self.certificate = self._self_sign()
+        else:
+            self.certificate = parent.issue_certificate(
+                subject=name, public_key=self._key.public_key, is_ca=True
+            )
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        return self._key.public_key
+
+    def _self_sign(self) -> Certificate:
+        cert = Certificate(
+            subject=self.name,
+            public_key=self._key.public_key,
+            issuer=self.name,
+            serial=0,
+            not_before=0.0,
+            not_after=self.DEFAULT_LIFETIME,
+            claims=(("ca", (self.name,)),),
+        )
+        return replace(cert, signature=self._key.sign(cert.tbs_bytes()))
+
+    def issue_certificate(
+        self,
+        subject: str,
+        public_key: RsaPublicKey,
+        claims: tuple = (),
+        not_before: float = 0.0,
+        lifetime: float | None = None,
+        nonce: str = "",
+        is_ca: bool = False,
+    ) -> Certificate:
+        """Sign a certificate for ``subject``'s ``public_key``."""
+        self._serial += 1
+        all_claims = tuple(claims)
+        if is_ca:
+            all_claims += (("ca", (subject,)),)
+        cert = Certificate(
+            subject=subject,
+            public_key=public_key,
+            issuer=self.name,
+            serial=self._serial,
+            not_before=not_before,
+            not_after=not_before + (lifetime or self.DEFAULT_LIFETIME),
+            claims=all_claims,
+            nonce=nonce,
+        )
+        return replace(cert, signature=self._key.sign(cert.tbs_bytes()))
+
+    def issue_keypair(
+        self, subject: str, claims: tuple = (), key_bits: int = 1024
+    ) -> KeyPair:
+        """Generate a fresh key and certify it in one step."""
+        private_key = generate_keypair(bits=key_bits)
+        cert = self.issue_certificate(
+            subject=subject, public_key=private_key.public_key, claims=claims
+        )
+        return KeyPair(private_key=private_key, certificate=cert)
+
+    def verify_chain(self, cert: Certificate, now: float) -> None:
+        """Walk issuers up to this CA; raises :class:`CertificateError`."""
+        if not cert.is_valid_at(now):
+            raise CertificateError(
+                f"certificate for {cert.subject!r} outside validity window"
+            )
+        authority: CertificateAuthority | None = self
+        while authority is not None:
+            if cert.issuer == authority.name:
+                if cert.verify_signature(authority.public_key):
+                    return
+                raise CertificateError(
+                    f"bad signature on certificate for {cert.subject!r}"
+                )
+            authority = authority.parent
+        raise CertificateError(
+            f"issuer {cert.issuer!r} is not in the trust chain"
+        )
+
+
+@dataclass
+class TrustStore:
+    """A set of trusted authorities used by channel endpoints."""
+
+    authorities: list[CertificateAuthority] = field(default_factory=list)
+
+    def add(self, authority: CertificateAuthority) -> None:
+        self.authorities.append(authority)
+
+    def verify(self, cert: Certificate, now: float) -> None:
+        errors = []
+        for authority in self.authorities:
+            try:
+                authority.verify_chain(cert, now)
+                return
+            except CertificateError as exc:
+                errors.append(str(exc))
+        raise CertificateError(
+            f"no trust anchor accepts {cert.subject!r}: {errors}"
+        )
+
+
+def random_serial() -> int:
+    """A random 63-bit serial for ad-hoc certificates."""
+    return secrets.randbits(63)

@@ -1,0 +1,150 @@
+"""AES-GCM authenticated encryption (NIST SP 800-38D).
+
+Pesos transparently encrypts every object with AES-GCM before it leaves
+the enclave for a Kinetic drive (§2.2), and session channels use GCM for
+record protection.  We implement CTR-mode encryption plus the GHASH
+authenticator over GF(2^128), verified against the original GCM spec
+test vectors.
+"""
+
+from __future__ import annotations
+
+import hmac
+
+from repro.crypto.aes import AES, BLOCK_SIZE
+from repro.errors import CryptoError, IntegrityError
+
+
+class GcmTagError(IntegrityError):
+    """The GCM authentication tag did not verify: data tampered or wrong key."""
+
+
+# GHASH reduction polynomial: x^128 + x^7 + x^2 + x + 1 (bit-reflected form).
+_R = 0xE1000000000000000000000000000000
+
+
+def _gf128_mul(x: int, y: int) -> int:
+    """Multiply in GF(2^128) per the GCM bit ordering."""
+    z = 0
+    v = x
+    for i in range(127, -1, -1):
+        if (y >> i) & 1:
+            z ^= v
+        if v & 1:
+            v = (v >> 1) ^ _R
+        else:
+            v >>= 1
+    return z
+
+
+def _block_to_int(block: bytes) -> int:
+    return int.from_bytes(block, "big")
+
+
+def _int_to_block(value: int) -> bytes:
+    return value.to_bytes(BLOCK_SIZE, "big")
+
+
+def _inc32(counter: bytes) -> bytes:
+    """Increment the low 32 bits of a counter block, wrapping mod 2^32."""
+    prefix, low = counter[:12], int.from_bytes(counter[12:], "big")
+    return prefix + ((low + 1) & 0xFFFFFFFF).to_bytes(4, "big")
+
+
+class AesGcm:
+    """AES-GCM with a fixed key.
+
+    >>> gcm = AesGcm(bytes(16))
+    >>> ct, tag = gcm.encrypt(bytes(12), b"secret", b"header")
+    >>> gcm.decrypt(bytes(12), ct, tag, b"header")
+    b'secret'
+    """
+
+    TAG_SIZE = 16
+    NONCE_SIZE = 12
+
+    def __init__(self, key: bytes):
+        self._aes = AES(key)
+        self._h = _block_to_int(self._aes.encrypt_block(bytes(BLOCK_SIZE)))
+
+    # -- GHASH ----------------------------------------------------------
+
+    def _ghash(self, aad: bytes, ciphertext: bytes) -> bytes:
+        y = 0
+        for chunk in self._padded_blocks(aad):
+            y = _gf128_mul(y ^ _block_to_int(chunk), self._h)
+        for chunk in self._padded_blocks(ciphertext):
+            y = _gf128_mul(y ^ _block_to_int(chunk), self._h)
+        lengths = (len(aad) * 8).to_bytes(8, "big") + (
+            len(ciphertext) * 8
+        ).to_bytes(8, "big")
+        y = _gf128_mul(y ^ _block_to_int(lengths), self._h)
+        return _int_to_block(y)
+
+    @staticmethod
+    def _padded_blocks(data: bytes):
+        for offset in range(0, len(data), BLOCK_SIZE):
+            chunk = data[offset : offset + BLOCK_SIZE]
+            if len(chunk) < BLOCK_SIZE:
+                chunk = chunk + bytes(BLOCK_SIZE - len(chunk))
+            yield chunk
+
+    # -- CTR keystream ----------------------------------------------------
+
+    def _ctr(self, initial_counter: bytes, data: bytes) -> bytes:
+        out = bytearray()
+        counter = initial_counter
+        for offset in range(0, len(data), BLOCK_SIZE):
+            counter = _inc32(counter)
+            keystream = self._aes.encrypt_block(counter)
+            chunk = data[offset : offset + BLOCK_SIZE]
+            out.extend(a ^ b for a, b in zip(chunk, keystream))
+        return bytes(out)
+
+    def _j0(self, nonce: bytes) -> bytes:
+        if len(nonce) == self.NONCE_SIZE:
+            return nonce + b"\x00\x00\x00\x01"
+        # Non-96-bit nonces are GHASHed per the spec.
+        return self._ghash(b"", nonce)[:12] + self._ghash(b"", nonce)[12:]
+
+    # -- public API -------------------------------------------------------
+
+    def encrypt(
+        self, nonce: bytes, plaintext: bytes, aad: bytes = b""
+    ) -> tuple[bytes, bytes]:
+        """Encrypt ``plaintext``; returns ``(ciphertext, tag)``."""
+        if len(nonce) != self.NONCE_SIZE:
+            raise CryptoError(f"nonce must be 12 bytes, got {len(nonce)}")
+        j0 = self._j0(nonce)
+        ciphertext = self._ctr(j0, plaintext)
+        s = self._ghash(aad, ciphertext)
+        tag_stream = self._aes.encrypt_block(j0)
+        tag = bytes(a ^ b for a, b in zip(s, tag_stream))
+        return ciphertext, tag
+
+    def decrypt(
+        self, nonce: bytes, ciphertext: bytes, tag: bytes, aad: bytes = b""
+    ) -> bytes:
+        """Verify ``tag`` then decrypt; raises :class:`GcmTagError` on tamper."""
+        if len(nonce) != self.NONCE_SIZE:
+            raise CryptoError(f"nonce must be 12 bytes, got {len(nonce)}")
+        j0 = self._j0(nonce)
+        s = self._ghash(aad, ciphertext)
+        tag_stream = self._aes.encrypt_block(j0)
+        expected = bytes(a ^ b for a, b in zip(s, tag_stream))
+        if not hmac.compare_digest(expected, tag):
+            raise GcmTagError("GCM tag mismatch")
+        return self._ctr(j0, ciphertext)
+
+    def seal(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+        """Encrypt and append the tag (convenient single-blob format)."""
+        ciphertext, tag = self.encrypt(nonce, plaintext, aad)
+        return ciphertext + tag
+
+    def open(self, nonce: bytes, blob: bytes, aad: bytes = b"") -> bytes:
+        """Inverse of :meth:`seal`."""
+        if len(blob) < self.TAG_SIZE:
+            raise GcmTagError("sealed blob shorter than a tag")
+        return self.decrypt(
+            nonce, blob[: -self.TAG_SIZE], blob[-self.TAG_SIZE :], aad
+        )

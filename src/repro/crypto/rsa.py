@@ -1,0 +1,173 @@
+"""RSA key generation and PKCS#1 v1.5 signatures over SHA-256.
+
+Certificates in this reproduction (client identities, drive identities,
+time-authority certs) are signed with RSA.  Key generation uses
+Miller-Rabin primality testing; signing/verification follow RFC 8017
+EMSA-PKCS1-v1_5 with the SHA-256 DigestInfo prefix.
+
+Keys default to 1024 bits: secure-enough for a simulation substrate and
+an order of magnitude faster to generate in pure Python than 2048-bit
+keys (benchmarks charge the cost of 2048-bit operations in virtual
+time).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from dataclasses import dataclass
+
+from repro.errors import CryptoError, IntegrityError
+
+# ASN.1 DigestInfo prefix for SHA-256 (RFC 8017 §9.2 note 1).
+_SHA256_PREFIX = bytes.fromhex("3031300d060960864801650304020105000420")
+
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139,
+    149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+]
+
+
+def _is_probable_prime(n: int, rounds: int = 40) -> bool:
+    """Miller-Rabin with random bases (error < 4^-rounds)."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = secrets.randbelow(n - 3) + 2
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int) -> int:
+    """Generate a random prime with the top two bits set."""
+    while True:
+        candidate = secrets.randbits(bits)
+        candidate |= (1 << (bits - 1)) | (1 << (bits - 2)) | 1
+        if _is_probable_prime(candidate):
+            return candidate
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    """An RSA public key ``(n, e)``."""
+
+    n: int
+    e: int
+
+    @property
+    def size_bytes(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def fingerprint(self) -> str:
+        """Short stable identifier used in policies (``sessionKeyIs``)."""
+        material = self.n.to_bytes(self.size_bytes, "big") + self.e.to_bytes(
+            4, "big"
+        )
+        return hashlib.sha256(material).hexdigest()[:32]
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """Verify a PKCS#1 v1.5 SHA-256 signature; never raises."""
+        if len(signature) != self.size_bytes:
+            return False
+        sig_int = int.from_bytes(signature, "big")
+        if sig_int >= self.n:
+            return False
+        em = pow(sig_int, self.e, self.n).to_bytes(self.size_bytes, "big")
+        return em == _emsa_pkcs1_v15(message, self.size_bytes)
+
+    def to_dict(self) -> dict:
+        return {"n": hex(self.n), "e": self.e}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RsaPublicKey":
+        return cls(n=int(data["n"], 16), e=int(data["e"]))
+
+
+@dataclass(frozen=True)
+class RsaPrivateKey:
+    """An RSA private key with CRT parameters for fast signing."""
+
+    n: int
+    e: int
+    d: int
+    p: int
+    q: int
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        return RsaPublicKey(self.n, self.e)
+
+    @property
+    def size_bytes(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def sign(self, message: bytes) -> bytes:
+        """Produce a PKCS#1 v1.5 SHA-256 signature."""
+        em = _emsa_pkcs1_v15(message, self.size_bytes)
+        m = int.from_bytes(em, "big")
+        # CRT: s = sq + q * (qinv * (sp - sq) mod p)
+        dp = self.d % (self.p - 1)
+        dq = self.d % (self.q - 1)
+        qinv = pow(self.q, -1, self.p)
+        sp = pow(m, dp, self.p)
+        sq = pow(m, dq, self.q)
+        h = (qinv * (sp - sq)) % self.p
+        s = sq + self.q * h
+        return s.to_bytes(self.size_bytes, "big")
+
+
+def _emsa_pkcs1_v15(message: bytes, em_len: int) -> bytes:
+    """EMSA-PKCS1-v1_5 encoding of SHA-256(message)."""
+    digest = hashlib.sha256(message).digest()
+    t = _SHA256_PREFIX + digest
+    if em_len < len(t) + 11:
+        raise CryptoError("RSA modulus too small for SHA-256 signature")
+    padding = b"\xff" * (em_len - len(t) - 3)
+    return b"\x00\x01" + padding + b"\x00" + t
+
+
+def generate_keypair(bits: int = 1024, e: int = 65537) -> RsaPrivateKey:
+    """Generate an RSA keypair.
+
+    >>> key = generate_keypair(bits=512)
+    >>> key.public_key.verify(b"msg", key.sign(b"msg"))
+    True
+    """
+    if bits < 512:
+        raise CryptoError("keys below 512 bits cannot sign SHA-256 digests")
+    while True:
+        p = _random_prime(bits // 2)
+        q = _random_prime(bits - bits // 2)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        try:
+            d = pow(e, -1, phi)
+        except ValueError:
+            continue  # e not invertible for this phi; rare, retry
+        if n.bit_length() >= bits:
+            return RsaPrivateKey(n=n, e=e, d=d, p=p, q=q)
+
+
+def verify_or_raise(key: RsaPublicKey, message: bytes, signature: bytes) -> None:
+    """Verification helper that raises :class:`IntegrityError` on failure."""
+    if not key.verify(message, signature):
+        raise IntegrityError("RSA signature verification failed")

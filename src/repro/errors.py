@@ -1,0 +1,161 @@
+"""Exception hierarchy for the Pesos reproduction.
+
+Every subsystem raises exceptions rooted at :class:`PesosError` so callers
+can catch broadly (``except PesosError``) or narrowly (e.g.
+``except PolicyDenied``).  Wire-visible errors carry an HTTP-style status
+code used by the REST layer when rendering responses.
+"""
+
+from __future__ import annotations
+
+
+class PesosError(Exception):
+    """Base class for every error raised by this library."""
+
+    #: HTTP-style status code used when the error crosses the REST boundary.
+    status = 500
+
+
+class ConfigurationError(PesosError):
+    """A component was constructed with invalid or inconsistent parameters."""
+
+
+# --------------------------------------------------------------------------
+# Crypto / attestation
+# --------------------------------------------------------------------------
+
+class CryptoError(PesosError):
+    """Cryptographic operation failed (bad key size, tag mismatch, ...)."""
+
+
+class IntegrityError(CryptoError):
+    """Authenticated decryption or signature verification failed."""
+
+    status = 400
+
+
+class CertificateError(CryptoError):
+    """Certificate is malformed, expired, or its chain does not verify."""
+
+    status = 403
+
+
+class AttestationError(PesosError):
+    """Remote attestation failed: wrong measurement, bad quote, or replay."""
+
+    status = 403
+
+
+# --------------------------------------------------------------------------
+# Kinetic storage
+# --------------------------------------------------------------------------
+
+class KineticError(PesosError):
+    """Base class for Kinetic drive / protocol errors."""
+
+
+class KineticAuthError(KineticError):
+    """Request HMAC did not verify or the identity lacks permission."""
+
+    status = 401
+
+
+class KineticVersionMismatch(KineticError):
+    """A versioned PUT/DELETE supplied a stale dbVersion."""
+
+    status = 409
+
+
+class KineticNotFound(KineticError):
+    """The requested key does not exist on the drive."""
+
+    status = 404
+
+
+class DriveOffline(KineticError):
+    """The target drive failed or was administratively taken offline."""
+
+    status = 503
+
+
+# --------------------------------------------------------------------------
+# Policy engine
+# --------------------------------------------------------------------------
+
+class PolicyError(PesosError):
+    """Base class for policy language errors."""
+
+
+class PolicySyntaxError(PolicyError):
+    """The policy source text failed to lex or parse."""
+
+    status = 400
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        base = super().__str__()
+        if self.line:
+            return f"{base} (line {self.line}, column {self.column})"
+        return base
+
+
+class PolicyCompileError(PolicyError):
+    """The AST could not be compiled (unknown predicate, arity mismatch)."""
+
+    status = 400
+
+
+class PolicyFormatError(PolicyError):
+    """A compiled binary policy blob is corrupt or has a bad version."""
+
+    status = 400
+
+
+class PolicyDenied(PolicyError):
+    """Policy evaluation denied the requested operation."""
+
+    status = 403
+
+
+# --------------------------------------------------------------------------
+# Controller / API
+# --------------------------------------------------------------------------
+
+class RequestError(PesosError):
+    """Malformed client request (missing parameter, bad method...)."""
+
+    status = 400
+
+
+class SessionError(PesosError):
+    """Client session is missing, expired, or failed authentication."""
+
+    status = 401
+
+
+class ObjectNotFound(PesosError):
+    """The requested object key does not exist in the store."""
+
+    status = 404
+
+
+class VersionConflict(PesosError):
+    """An optimistic versioned update lost the race."""
+
+    status = 409
+
+
+class TransactionError(PesosError):
+    """Transaction aborted or used illegally (e.g. op after commit)."""
+
+    status = 409
+
+
+class ResultExpired(PesosError):
+    """An async operation result was evicted from the result buffer."""
+
+    status = 410

@@ -1,0 +1,330 @@
+"""Kinetic client library (the Seagate C library stand-in).
+
+The Pesos controller talks to drives exclusively through this client.
+It keeps a per-connection sequence number, HMAC-signs every request,
+verifies the HMAC on every response (mutual authentication), checks
+the drive's identity certificate on connect (drive-replacement
+detection, §2.4), and offers both synchronous calls and an
+asynchronous pipeline with a bounded pending-request window — the
+paper's §4.3 rework of pipe-based synchronization into concurrent data
+structures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.certs import TrustStore
+from repro.errors import (
+    CertificateError,
+    IntegrityError,
+    KineticAuthError,
+    KineticError,
+    KineticNotFound,
+    KineticVersionMismatch,
+)
+from repro.kinetic.drive import KineticDrive, Role
+from repro.kinetic.protocol import Message, MessageType, StatusCode
+
+
+def _estimate_size(message: Message) -> int:
+    """Approximate wire size without encoding (fast-path accounting)."""
+    size = 64  # header, hmac, framing
+    for key, value in message.body.items():
+        size += len(key) + 4
+        if isinstance(value, (bytes, str)):
+            size += len(value)
+        elif isinstance(value, list):
+            size += sum(
+                len(item) if isinstance(item, (bytes, str)) else 8
+                for item in value
+            )
+        else:
+            size += 8
+    return size
+
+
+@dataclass
+class PendingRequest:
+    """An async request waiting for its response."""
+
+    sequence: int
+    request: Message
+    callback: Callable[[Message], None] | None = None
+    response: Message | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.response is not None
+
+
+class KineticClient:
+    """A mutually-authenticated connection to one Kinetic drive."""
+
+    def __init__(
+        self,
+        drive: KineticDrive,
+        identity: str,
+        hmac_key: bytes,
+        trust_store: TrustStore | None = None,
+        now: float = 0.0,
+        max_pending: int = 64,
+        wire_codec: bool = True,
+    ):
+        self.drive = drive
+        self.identity = identity
+        self._key = hmac_key
+        self._sequence = 0
+        #: When False, frames skip the byte-level encode/decode round
+        #: trip (messages stay signed and HMAC-verified).  Benchmarks
+        #: use this to keep the functional hot path cheap; wire sizes
+        #: are then estimated from message contents.
+        self.wire_codec = wire_codec
+        self._pending: deque[PendingRequest] = deque()
+        self.max_pending = max_pending
+        self.requests_sent = 0
+        self.bytes_on_wire = 0
+        if trust_store is not None:
+            certificate = drive.certificate
+            if certificate is None:
+                raise CertificateError(
+                    f"drive {drive.drive_id} has no identity certificate"
+                )
+            trust_store.verify(certificate, now)
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _next_message(self, message_type: MessageType, body: dict) -> Message:
+        self._sequence += 1
+        message = Message(
+            message_type=message_type,
+            identity=self.identity,
+            sequence=self._sequence,
+            body=body,
+        )
+        return message.sign(self._key)
+
+    def _roundtrip(self, message_type: MessageType, body: dict) -> Message:
+        """Send one request and validate the response."""
+        request = self._next_message(message_type, body)
+        self.requests_sent += 1
+        if self.wire_codec:
+            # Encode/decode both ways: the real library serializes
+            # through protobuf; doing so keeps the wire format honest.
+            wire = request.encode()
+            self.bytes_on_wire += len(wire)
+            response = self.drive.handle(Message.decode(wire))
+            response_wire = response.encode()
+            self.bytes_on_wire += len(response_wire)
+            response = Message.decode(response_wire)
+        else:
+            self.bytes_on_wire += _estimate_size(request)
+            response = self.drive.handle(request)
+            self.bytes_on_wire += _estimate_size(response)
+        self._validate(request, response)
+        return response
+
+    def _validate(self, request: Message, response: Message) -> Message:
+        if response.status == StatusCode.HMAC_FAILURE:
+            raise KineticAuthError(
+                f"drive rejected identity {self.identity!r}: "
+                f"{response.status_message}"
+            )
+        if not response.verify(self._key):
+            raise IntegrityError("response HMAC invalid (spoofed drive?)")
+        if response.sequence != request.sequence:
+            raise KineticError("response sequence mismatch")
+        if response.status == StatusCode.NOT_AUTHORIZED:
+            raise KineticAuthError(response.status_message)
+        if response.status == StatusCode.VERSION_MISMATCH:
+            raise KineticVersionMismatch(response.status_message)
+        if response.status == StatusCode.NOT_FOUND:
+            raise KineticNotFound(response.status_message or "key not found")
+        if response.status != StatusCode.SUCCESS:
+            raise KineticError(
+                f"{response.status.name}: {response.status_message}"
+            )
+        return response
+
+    # -- synchronous API -------------------------------------------------------
+
+    def put(
+        self,
+        key: bytes,
+        value: bytes,
+        db_version: bytes = b"",
+        new_version: bytes | None = None,
+        force: bool = False,
+        batch: int | None = None,
+    ) -> bytes | None:
+        """Store ``value``; returns the new dbVersion.
+
+        With ``batch`` set, the operation is buffered on the drive
+        until :meth:`end_batch` commits it (returns None).
+        """
+        body: dict[str, Any] = {
+            "key": key,
+            "value": value,
+            "db_version": db_version,
+            "force": force,
+        }
+        if new_version is not None:
+            body["new_version"] = new_version
+        if batch is not None:
+            body["batch"] = batch
+        response = self._roundtrip(MessageType.PUT, body)
+        return response.body.get("new_version")
+
+    def get(self, key: bytes) -> tuple[bytes, bytes]:
+        """Fetch ``key``; returns ``(value, db_version)``."""
+        response = self._roundtrip(MessageType.GET, {"key": key})
+        return response.body["value"], response.body["db_version"]
+
+    def get_version(self, key: bytes) -> bytes:
+        response = self._roundtrip(MessageType.GETVERSION, {"key": key})
+        return response.body["db_version"]
+
+    def delete(
+        self,
+        key: bytes,
+        db_version: bytes = b"",
+        force: bool = False,
+        batch: int | None = None,
+    ) -> None:
+        body: dict[str, Any] = {
+            "key": key, "db_version": db_version, "force": force,
+        }
+        if batch is not None:
+            body["batch"] = batch
+        self._roundtrip(MessageType.DELETE, body)
+
+    def get_next(self, key: bytes) -> tuple[bytes, bytes, bytes]:
+        response = self._roundtrip(MessageType.GETNEXT, {"key": key})
+        return (
+            response.body["key"],
+            response.body["value"],
+            response.body["db_version"],
+        )
+
+    def get_previous(self, key: bytes) -> tuple[bytes, bytes, bytes]:
+        response = self._roundtrip(MessageType.GETPREVIOUS, {"key": key})
+        return (
+            response.body["key"],
+            response.body["value"],
+            response.body["db_version"],
+        )
+
+    def get_key_range(
+        self,
+        start_key: bytes = b"",
+        end_key: bytes = b"\xff" * 32,
+        max_returned: int = 200,
+        start_inclusive: bool = True,
+        end_inclusive: bool = True,
+        reverse: bool = False,
+    ) -> list[bytes]:
+        response = self._roundtrip(
+            MessageType.GETKEYRANGE,
+            {
+                "start_key": start_key,
+                "end_key": end_key,
+                "max_returned": max_returned,
+                "start_inclusive": start_inclusive,
+                "end_inclusive": end_inclusive,
+                "reverse": reverse,
+            },
+        )
+        return response.body["keys"]
+
+    def set_security(self, accounts: list[tuple[str, bytes, Role]]) -> None:
+        """Replace the drive's account table."""
+        encoded = [
+            [identity, key, roles.value] for identity, key, roles in accounts
+        ]
+        self._roundtrip(MessageType.SECURITY, {"accounts": encoded})
+
+    def setup(self, cluster_version: int | None = None, erase: bool = False) -> None:
+        body: dict[str, Any] = {"erase": erase}
+        if cluster_version is not None:
+            body["cluster_version"] = cluster_version
+        self._roundtrip(MessageType.SETUP, body)
+
+    def p2p_push(self, peer_id: str, keys: list[bytes]) -> int:
+        """Push keys directly to a peer drive; returns count pushed."""
+        response = self._roundtrip(
+            MessageType.PEER2PEERPUSH, {"peer": peer_id, "keys": keys}
+        )
+        return response.body["pushed"]
+
+    def get_log(self) -> dict:
+        return self._roundtrip(MessageType.GETLOG, {}).body
+
+    def noop(self) -> None:
+        self._roundtrip(MessageType.NOOP, {})
+
+    # -- batches ---------------------------------------------------------------
+
+    def start_batch(self) -> int:
+        """Open an atomic batch; returns the drive's batch id."""
+        response = self._roundtrip(MessageType.START_BATCH, {})
+        return response.body["batch"]
+
+    def end_batch(self, batch: int) -> int:
+        """Commit a batch atomically; returns ops applied."""
+        response = self._roundtrip(MessageType.END_BATCH, {"batch": batch})
+        return response.body["applied"]
+
+    def abort_batch(self, batch: int) -> None:
+        self._roundtrip(MessageType.ABORT_BATCH, {"batch": batch})
+
+    def flush(self) -> None:
+        self._roundtrip(MessageType.FLUSHALLDATA, {})
+
+    # -- asynchronous pipeline ---------------------------------------------------
+
+    def submit(
+        self,
+        message_type: MessageType,
+        body: dict,
+        callback: Callable[[Message], None] | None = None,
+    ) -> PendingRequest:
+        """Queue a request without waiting for its response."""
+        if len(self._pending) >= self.max_pending:
+            raise KineticError("pending window full")
+        request = self._next_message(message_type, body)
+        pending = PendingRequest(
+            sequence=request.sequence, request=request, callback=callback
+        )
+        self._pending.append(pending)
+        return pending
+
+    def drain(self, max_responses: int | None = None) -> int:
+        """Execute queued requests; returns how many completed.
+
+        Responses complete in submission order (one TCP connection).
+        Status failures are recorded on the pending entry rather than
+        raised, matching the callback-style C library.
+        """
+        completed = 0
+        while self._pending and (max_responses is None or completed < max_responses):
+            pending = self._pending.popleft()
+            self.requests_sent += 1
+            if self.wire_codec:
+                wire = pending.request.encode()
+                self.bytes_on_wire += len(wire)
+                response = self.drive.handle(Message.decode(wire))
+            else:
+                self.bytes_on_wire += _estimate_size(pending.request)
+                response = self.drive.handle(pending.request)
+            pending.response = response
+            if pending.callback is not None:
+                pending.callback(response)
+            completed += 1
+        return completed
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)

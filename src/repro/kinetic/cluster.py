@@ -1,0 +1,88 @@
+"""A managed set of Kinetic drives.
+
+The Pesos controller is configured with a static list of drives
+(§3.1); replication placement walks this list deterministically
+(§4.5).  :class:`DriveCluster` owns the drives, wires up peer links
+for P2P push, and hands out authenticated clients.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.certs import CertificateAuthority, TrustStore
+from repro.errors import ConfigurationError, DriveOffline
+from repro.kinetic.client import KineticClient
+from repro.kinetic.drive import KineticDrive
+
+
+class DriveCluster:
+    """Creates and tracks a fleet of drives with a shared identity CA."""
+
+    def __init__(
+        self,
+        num_drives: int,
+        capacity_bytes: int = 4 * 1024**4,
+        identity_ca: CertificateAuthority | None = None,
+    ):
+        if num_drives < 1:
+            raise ConfigurationError("cluster needs at least one drive")
+        self.identity_ca = identity_ca
+        self.drives: list[KineticDrive] = [
+            KineticDrive(
+                drive_id=f"disk-{index}",
+                capacity_bytes=capacity_bytes,
+                identity_ca=identity_ca,
+            )
+            for index in range(num_drives)
+        ]
+        for drive in self.drives:
+            for peer in self.drives:
+                if peer is not drive:
+                    drive.register_peer(peer)
+
+    def __len__(self) -> int:
+        return len(self.drives)
+
+    def __iter__(self):
+        return iter(self.drives)
+
+    def drive(self, index: int) -> KineticDrive:
+        return self.drives[index]
+
+    def online_drives(self) -> list[KineticDrive]:
+        return [drive for drive in self.drives if drive.online]
+
+    def trust_store(self) -> TrustStore | None:
+        """Trust store accepting this cluster's drive certificates."""
+        if self.identity_ca is None:
+            return None
+        store = TrustStore()
+        store.add(self.identity_ca)
+        return store
+
+    def connect_all(
+        self,
+        identity: str,
+        hmac_key: bytes,
+        verify_certificates: bool = True,
+        now: float = 0.0,
+    ) -> list[KineticClient]:
+        """Open one authenticated client per drive.
+
+        Raises :class:`DriveOffline` if any drive is down — bootstrap
+        requires exclusive control of the full configured set.
+        """
+        trust = self.trust_store() if verify_certificates else None
+        clients = []
+        for drive in self.drives:
+            if not drive.online:
+                raise DriveOffline(f"{drive.drive_id} offline during connect")
+            clients.append(
+                KineticClient(
+                    drive=drive,
+                    identity=identity,
+                    hmac_key=hmac_key,
+                    trust_store=trust,
+                    now=now,
+                )
+            )
+        return clients

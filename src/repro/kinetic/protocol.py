@@ -1,0 +1,334 @@
+"""The Kinetic wire protocol (protobuf stand-in).
+
+Real Kinetic drives speak Google Protocol Buffers over TCP with a
+9-byte frame header.  We reproduce the same structure with our own
+tag/length/value binary encoding (:func:`encode_fields` /
+:func:`decode_fields`): a :class:`Message` carries a command header
+(identity, sequence, type), a body of operation parameters, and an
+HMAC-SHA256 over the encoded command keyed by the identity's secret —
+which is exactly how Kinetic authenticates requests.
+
+Frame layout::
+
+    magic 'K' | varint(len(command)) | command | varint(len(hmac)) | hmac
+"""
+
+from __future__ import annotations
+
+import enum
+import hmac as hmac_mod
+import hashlib
+import io
+from dataclasses import dataclass, field
+
+from repro.errors import KineticError
+from repro.util.varint import read_varint, write_varint
+
+_MAGIC = ord("K")
+
+
+class MessageType(enum.IntEnum):
+    """Command types, mirroring the Kinetic protocol's MessageType."""
+
+    GET = 1
+    GET_RESPONSE = 2
+    PUT = 3
+    PUT_RESPONSE = 4
+    DELETE = 5
+    DELETE_RESPONSE = 6
+    GETNEXT = 7
+    GETNEXT_RESPONSE = 8
+    GETPREVIOUS = 9
+    GETPREVIOUS_RESPONSE = 10
+    GETKEYRANGE = 11
+    GETKEYRANGE_RESPONSE = 12
+    GETVERSION = 13
+    GETVERSION_RESPONSE = 14
+    SECURITY = 15
+    SECURITY_RESPONSE = 16
+    SETUP = 17
+    SETUP_RESPONSE = 18
+    PEER2PEERPUSH = 19
+    PEER2PEERPUSH_RESPONSE = 20
+    NOOP = 21
+    NOOP_RESPONSE = 22
+    GETLOG = 23
+    GETLOG_RESPONSE = 24
+    FLUSHALLDATA = 25
+    FLUSHALLDATA_RESPONSE = 26
+    START_BATCH = 27
+    START_BATCH_RESPONSE = 28
+    END_BATCH = 29
+    END_BATCH_RESPONSE = 30
+    ABORT_BATCH = 31
+    ABORT_BATCH_RESPONSE = 32
+
+
+class StatusCode(enum.IntEnum):
+    """Response status codes."""
+
+    SUCCESS = 0
+    NOT_FOUND = 1
+    VERSION_MISMATCH = 2
+    NOT_AUTHORIZED = 3
+    HMAC_FAILURE = 4
+    INTERNAL_ERROR = 5
+    NOT_ATTEMPTED = 6
+    INVALID_REQUEST = 7
+    NO_SPACE = 8
+
+
+_RESPONSE_OF = {
+    MessageType.GET: MessageType.GET_RESPONSE,
+    MessageType.PUT: MessageType.PUT_RESPONSE,
+    MessageType.DELETE: MessageType.DELETE_RESPONSE,
+    MessageType.GETNEXT: MessageType.GETNEXT_RESPONSE,
+    MessageType.GETPREVIOUS: MessageType.GETPREVIOUS_RESPONSE,
+    MessageType.GETKEYRANGE: MessageType.GETKEYRANGE_RESPONSE,
+    MessageType.GETVERSION: MessageType.GETVERSION_RESPONSE,
+    MessageType.SECURITY: MessageType.SECURITY_RESPONSE,
+    MessageType.SETUP: MessageType.SETUP_RESPONSE,
+    MessageType.PEER2PEERPUSH: MessageType.PEER2PEERPUSH_RESPONSE,
+    MessageType.NOOP: MessageType.NOOP_RESPONSE,
+    MessageType.GETLOG: MessageType.GETLOG_RESPONSE,
+    MessageType.FLUSHALLDATA: MessageType.FLUSHALLDATA_RESPONSE,
+    MessageType.START_BATCH: MessageType.START_BATCH_RESPONSE,
+    MessageType.END_BATCH: MessageType.END_BATCH_RESPONSE,
+    MessageType.ABORT_BATCH: MessageType.ABORT_BATCH_RESPONSE,
+}
+
+
+def response_type(request_type: MessageType) -> MessageType:
+    """The response MessageType paired with a request type."""
+    try:
+        return _RESPONSE_OF[request_type]
+    except KeyError:
+        raise KineticError(f"{request_type!r} is not a request type") from None
+
+
+# ---------------------------------------------------------------------------
+# TLV field encoding
+# ---------------------------------------------------------------------------
+
+_TYPE_INT = 0
+_TYPE_BYTES = 1
+_TYPE_STR = 2
+_TYPE_LIST = 3
+_TYPE_NONE = 4
+
+
+def _read_exact(stream: io.BytesIO, length: int, what: str) -> bytes:
+    """Read exactly ``length`` bytes, validating against the buffer.
+
+    Length fields are attacker-controlled varints up to 2^64; checking
+    them against the remaining payload prevents huge-allocation and
+    index-overflow attacks (found by fuzzing).
+    """
+    remaining = stream.getbuffer().nbytes - stream.tell()
+    if length > remaining:
+        raise KineticError(
+            f"{what} length {length} exceeds remaining payload {remaining}"
+        )
+    return stream.read(length)
+
+
+def _write_value(stream: io.BytesIO, value) -> None:
+    if value is None:
+        stream.write(bytes([_TYPE_NONE]))
+    elif isinstance(value, bool):
+        # bools encode as ints (before the int check: bool is an int).
+        stream.write(bytes([_TYPE_INT]))
+        write_varint(stream, int(value))
+    elif isinstance(value, int):
+        if value < 0:
+            raise KineticError(f"cannot encode negative int {value}")
+        stream.write(bytes([_TYPE_INT]))
+        write_varint(stream, value)
+    elif isinstance(value, bytes):
+        stream.write(bytes([_TYPE_BYTES]))
+        write_varint(stream, len(value))
+        stream.write(value)
+    elif isinstance(value, str):
+        raw = value.encode()
+        stream.write(bytes([_TYPE_STR]))
+        write_varint(stream, len(raw))
+        stream.write(raw)
+    elif isinstance(value, (list, tuple)):
+        stream.write(bytes([_TYPE_LIST]))
+        write_varint(stream, len(value))
+        for item in value:
+            _write_value(stream, item)
+    else:
+        raise KineticError(f"cannot encode field of type {type(value).__name__}")
+
+
+def _read_value(stream: io.BytesIO):
+    type_byte = stream.read(1)
+    if not type_byte:
+        raise KineticError("truncated field value")
+    kind = type_byte[0]
+    if kind == _TYPE_NONE:
+        return None
+    if kind == _TYPE_INT:
+        return read_varint(stream)
+    if kind in (_TYPE_BYTES, _TYPE_STR):
+        length = read_varint(stream)
+        raw = _read_exact(stream, length, "field payload")
+        if kind == _TYPE_BYTES:
+            return raw
+        try:
+            return raw.decode()
+        except UnicodeDecodeError as exc:
+            raise KineticError(f"invalid string field: {exc}") from exc
+    if kind == _TYPE_LIST:
+        count = read_varint(stream)
+        remaining = stream.getbuffer().nbytes - stream.tell()
+        if count > remaining:  # each element needs >= 1 byte
+            raise KineticError("list count exceeds remaining payload")
+        return [_read_value(stream) for _ in range(count)]
+    raise KineticError(f"unknown field type {kind}")
+
+
+def encode_fields(fields: dict) -> bytes:
+    """Encode a flat dict of fields deterministically (sorted keys)."""
+    stream = io.BytesIO()
+    write_varint(stream, len(fields))
+    for key in sorted(fields):
+        raw_key = key.encode()
+        write_varint(stream, len(raw_key))
+        stream.write(raw_key)
+        _write_value(stream, fields[key])
+    return stream.getvalue()
+
+
+def decode_fields(data: bytes) -> dict:
+    """Inverse of :func:`encode_fields`."""
+    stream = io.BytesIO(data)
+    count = read_varint(stream)
+    if count > len(data):
+        raise KineticError("field count exceeds payload")
+    fields = {}
+    for _ in range(count):
+        key_len = read_varint(stream)
+        raw_key = _read_exact(stream, key_len, "field key")
+        try:
+            key = raw_key.decode()
+        except UnicodeDecodeError as exc:
+            raise KineticError(f"invalid field key: {exc}") from exc
+        fields[key] = _read_value(stream)
+    return fields
+
+
+# ---------------------------------------------------------------------------
+# Messages
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Message:
+    """One Kinetic command: header + body, HMAC-authenticated."""
+
+    message_type: MessageType
+    identity: str
+    sequence: int
+    body: dict = field(default_factory=dict)
+    status: StatusCode = StatusCode.SUCCESS
+    status_message: str = ""
+    hmac: bytes = b""
+    _command_cache: bytes | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def command_bytes(self) -> bytes:
+        """The canonical encoding covered by the HMAC (always fresh)."""
+        return encode_fields(
+            {
+                "_type": int(self.message_type),
+                "_identity": self.identity,
+                "_sequence": self.sequence,
+                "_status": int(self.status),
+                "_status_message": self.status_message,
+                "_body": encode_fields(self.body),
+            }
+        )
+
+    def sign(self, key: bytes) -> "Message":
+        """Attach an HMAC-SHA256 computed with ``key``.
+
+        The canonical encoding is cached for the follow-up
+        :meth:`encode`; :meth:`verify` always re-encodes so tampering
+        after signing is still caught.
+        """
+        self._command_cache = self.command_bytes()
+        self.hmac = hmac_mod.new(
+            key, self._command_cache, hashlib.sha256
+        ).digest()
+        return self
+
+    def verify(self, key: bytes) -> bool:
+        """Check the attached HMAC against ``key``."""
+        expected = hmac_mod.new(key, self.command_bytes(), hashlib.sha256).digest()
+        return hmac_mod.compare_digest(expected, self.hmac)
+
+    def encode(self) -> bytes:
+        """Serialize to a framed wire blob."""
+        command = (
+            self._command_cache
+            if self._command_cache is not None
+            else self.command_bytes()
+        )
+        stream = io.BytesIO()
+        stream.write(bytes([_MAGIC]))
+        write_varint(stream, len(command))
+        stream.write(command)
+        write_varint(stream, len(self.hmac))
+        stream.write(self.hmac)
+        return stream.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Message":
+        """Parse a framed wire blob."""
+        stream = io.BytesIO(data)
+        magic = stream.read(1)
+        if not magic or magic[0] != _MAGIC:
+            raise KineticError("bad frame magic")
+        command_len = read_varint(stream)
+        command = _read_exact(stream, command_len, "command")
+        hmac_len = read_varint(stream)
+        mac = _read_exact(stream, hmac_len, "hmac")
+        outer = decode_fields(command)
+        try:
+            return cls(
+                message_type=MessageType(outer["_type"]),
+                identity=outer["_identity"],
+                sequence=outer["_sequence"],
+                status=StatusCode(outer["_status"]),
+                status_message=outer["_status_message"],
+                body=decode_fields(outer["_body"]),
+                hmac=mac,
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise KineticError(f"malformed command: {exc}") from exc
+
+    def make_response(
+        self,
+        status: StatusCode,
+        body: dict | None = None,
+        status_message: str = "",
+    ) -> "Message":
+        """Build the (unsigned) response paired with this request."""
+        return Message(
+            message_type=response_type(self.message_type),
+            identity=self.identity,
+            sequence=self.sequence,
+            body=body or {},
+            status=status,
+            status_message=status_message,
+        )
+
+    @property
+    def ok(self) -> bool:
+        return self.status == StatusCode.SUCCESS
+
+    def wire_size(self) -> int:
+        """Encoded size in bytes (used for virtual-time transfer costs)."""
+        return len(self.encode())

@@ -1,0 +1,164 @@
+"""The compact binary policy format.
+
+The policy compiler turns an AST into this representation once, at
+submission time; every subsequent permission check interprets the
+binary form directly (the paper's "binary-format interpreter", §1).
+
+Layout (serialized with the same TLV field encoding as the Kinetic
+protocol)::
+
+    version        u8
+    constants      list of tagged values (the constant pool)
+    variables      list of slot names (index = slot number)
+    permissions    op -> list of clauses; a clause is a list of
+                   (opcode, arg-expressions) instructions
+
+Argument expressions are prefix-encoded trees::
+
+    ['c', pool_index]                  constant
+    ['v', slot]                        variable slot
+    ['r', 'this' | 'log']              object reference
+    ['a', '+'|'-', left, right]        integer arithmetic
+    ['t', pool_index(name), [args]]    tuple pattern
+
+A policy's identity is the SHA-256 of its serialized bytes, so equal
+policies share cache entries and the hash doubles as the integrity
+check ``objPolicy`` inspects.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.errors import PolicyFormatError
+from repro.kinetic.protocol import decode_fields, encode_fields
+from repro.policy.ast import (
+    HashValue,
+    IntValue,
+    NullValue,
+    PubKeyValue,
+    StrValue,
+    TupleValue,
+    Value,
+)
+
+FORMAT_VERSION = 1
+
+_VALUE_TAGS = {
+    IntValue: "i",
+    StrValue: "s",
+    HashValue: "h",
+    PubKeyValue: "k",
+    NullValue: "n",
+    TupleValue: "t",
+}
+
+
+def _encode_value(value: Value) -> list:
+    tag = _VALUE_TAGS[type(value)]
+    if isinstance(value, IntValue):
+        return [tag, value.value]
+    if isinstance(value, NullValue):
+        return [tag]
+    if isinstance(value, TupleValue):
+        return [tag, value.name, [_encode_value(arg) for arg in value.args]]
+    return [tag, value.value]
+
+
+def _decode_value(item: list) -> Value:
+    tag = item[0]
+    if tag == "i":
+        return IntValue(int(item[1]))
+    if tag == "s":
+        return StrValue(item[1])
+    if tag == "h":
+        return HashValue(item[1])
+    if tag == "k":
+        return PubKeyValue(item[1])
+    if tag == "n":
+        return NullValue()
+    if tag == "t":
+        return TupleValue(
+            name=item[1], args=tuple(_decode_value(arg) for arg in item[2])
+        )
+    raise PolicyFormatError(f"unknown value tag {tag!r}")
+
+
+@dataclass
+class Instruction:
+    """One predicate invocation in compiled form."""
+
+    opcode: int
+    args: list  # prefix-encoded argument expression trees
+
+
+@dataclass
+class CompiledPolicy:
+    """A policy in binary form, ready for interpretation."""
+
+    constants: list = field(default_factory=list)
+    variables: list = field(default_factory=list)
+    #: operation -> list of clauses -> list of Instruction
+    permissions: dict = field(default_factory=dict)
+    source: str = ""
+
+    _blob_cache: bytes | None = field(default=None, repr=False, compare=False)
+
+    def to_bytes(self) -> bytes:
+        """Serialize; cached because the policy id hashes this blob."""
+        if self._blob_cache is None:
+            self._blob_cache = encode_fields(
+                {
+                    "version": FORMAT_VERSION,
+                    "constants": [
+                        _encode_value(value) for value in self.constants
+                    ],
+                    "variables": list(self.variables),
+                    "permissions": [
+                        [
+                            op,
+                            [
+                                [[inst.opcode, inst.args] for inst in clause]
+                                for clause in clauses
+                            ],
+                        ]
+                        for op, clauses in sorted(self.permissions.items())
+                    ],
+                }
+            )
+        return self._blob_cache
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "CompiledPolicy":
+        try:
+            fields = decode_fields(blob)
+        except Exception as exc:  # noqa: BLE001 - normalize decode errors
+            raise PolicyFormatError(f"corrupt policy blob: {exc}") from exc
+        if fields.get("version") != FORMAT_VERSION:
+            raise PolicyFormatError(
+                f"unsupported policy format version {fields.get('version')!r}"
+            )
+        permissions = {}
+        for op, clauses in fields["permissions"]:
+            permissions[op] = [
+                [Instruction(opcode=inst[0], args=inst[1]) for inst in clause]
+                for clause in clauses
+            ]
+        policy = cls(
+            constants=[_decode_value(item) for item in fields["constants"]],
+            variables=list(fields["variables"]),
+            permissions=permissions,
+        )
+        policy._blob_cache = blob
+        return policy
+
+    def policy_hash(self) -> str:
+        """Content-addressed identity of this policy."""
+        return hashlib.sha256(self.to_bytes()).hexdigest()
+
+    def size_bytes(self) -> int:
+        return len(self.to_bytes())
+
+    def operations(self) -> list:
+        return sorted(self.permissions)

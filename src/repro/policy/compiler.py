@@ -1,0 +1,115 @@
+"""Policy compiler: AST → binary format.
+
+Builds the constant pool (deduplicated), assigns variable slots in
+first-appearance order, validates predicate names and arities against
+the registry, and emits prefix-encoded argument expressions.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PolicyCompileError
+from repro.policy.ast import (
+    Arith,
+    Literal,
+    ObjectRef,
+    PolicyAst,
+    StrValue,
+    TupleTerm,
+    Variable,
+)
+from repro.policy.binary import CompiledPolicy, Instruction
+from repro.policy.parser import parse_policy
+from repro.policy.predicates import lookup_predicate
+
+
+class _PoolBuilder:
+    def __init__(self) -> None:
+        self.constants: list = []
+        self._index: dict = {}
+        self.variables: list = []
+        self._slots: dict = {}
+
+    def constant(self, value) -> int:
+        key = (type(value).__name__, value)
+        if key not in self._index:
+            self._index[key] = len(self.constants)
+            self.constants.append(value)
+        return self._index[key]
+
+    def slot(self, name: str) -> int:
+        if name not in self._slots:
+            self._slots[name] = len(self.variables)
+            self.variables.append(name)
+        return self._slots[name]
+
+
+def _compile_term(term, pool: _PoolBuilder) -> list:
+    if isinstance(term, Literal):
+        return ["c", pool.constant(term.value)]
+    if isinstance(term, Variable):
+        return ["v", pool.slot(term.name)]
+    if isinstance(term, ObjectRef):
+        return ["r", term.name]
+    if isinstance(term, Arith):
+        return [
+            "a",
+            term.op,
+            _compile_term(term.left, pool),
+            _compile_term(term.right, pool),
+        ]
+    if isinstance(term, TupleTerm):
+        name_index = pool.constant(StrValue(term.name))
+        return [
+            "t",
+            name_index,
+            [_compile_term(arg, pool) for arg in term.args],
+        ]
+    raise PolicyCompileError(f"cannot compile term {term!r}")
+
+
+def compile_ast(ast: PolicyAst, source: str = "") -> CompiledPolicy:
+    """Compile a parsed policy AST into the binary format."""
+    pool = _PoolBuilder()
+    permissions: dict = {}
+    for permission in ast.permissions:
+        clauses = []
+        for clause in permission.clauses:
+            instructions = []
+            for predicate in clause.predicates:
+                spec = lookup_predicate(predicate.name)
+                arity = len(predicate.args)
+                if not spec.min_arity <= arity <= spec.max_arity:
+                    raise PolicyCompileError(
+                        f"{spec.name} takes {spec.min_arity}"
+                        + (
+                            f"-{spec.max_arity}"
+                            if spec.max_arity != spec.min_arity
+                            else ""
+                        )
+                        + f" arguments, got {arity}"
+                    )
+                instructions.append(
+                    Instruction(
+                        opcode=spec.opcode,
+                        args=[
+                            _compile_term(arg, pool) for arg in predicate.args
+                        ],
+                    )
+                )
+            clauses.append(instructions)
+        permissions[permission.operation] = clauses
+    return CompiledPolicy(
+        constants=pool.constants,
+        variables=pool.variables,
+        permissions=permissions,
+        source=source,
+    )
+
+
+def compile_source(source: str) -> CompiledPolicy:
+    """Parse and compile policy source text."""
+    return compile_ast(parse_policy(source), source=source)
+
+
+#: Public convenience alias used throughout examples and docs.
+compile_policy = compile_source

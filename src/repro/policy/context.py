@@ -1,0 +1,262 @@
+"""Evaluation context: what a policy check can observe.
+
+The interpreter never touches the store directly; everything it may
+inspect — session identity, object metadata and content, presented
+certificates, the pending write — flows through an
+:class:`EvalContext`.  The controller builds one per request; tests
+build them directly.
+
+Object *content as facts*: ``objSays`` treats an object version's bytes
+as a sequence of tuples, one per line, in the policy term syntax
+(``'write'('obj',3,h'ab',h'cd',k'fp')``).  The mandatory-access-logging
+use case appends such lines to its log objects.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.crypto.certs import Certificate
+from repro.crypto.rsa import RsaPublicKey
+from repro.errors import PolicyError
+from repro.policy.ast import (
+    HashValue,
+    IntValue,
+    PubKeyValue,
+    StrValue,
+    TupleValue,
+)
+from repro.policy.lexer import TokenType, tokenize
+
+
+def content_hash(data: bytes) -> str:
+    """The hash used for object content everywhere in the system."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def parse_content_tuples(data: bytes) -> list[TupleValue]:
+    """Parse object content into ground tuples (see module docstring).
+
+    Lines that do not parse as tuples are ignored — objects holding
+    arbitrary payloads simply say nothing.
+    """
+    tuples: list[TupleValue] = []
+    try:
+        text = data.decode()
+    except UnicodeDecodeError:
+        return tuples
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        parsed = _parse_tuple_line(line)
+        if parsed is not None:
+            tuples.append(parsed)
+    return tuples
+
+
+def _parse_tuple_line(line: str) -> TupleValue | None:
+    try:
+        tokens = tokenize(line)
+    except PolicyError:
+        return None
+    index = 0
+
+    def parse_value():
+        nonlocal index
+        token = tokens[index]
+        if token.type is TokenType.INT:
+            index += 1
+            return IntValue(int(token.text))
+        if token.type is TokenType.HASH:
+            index += 1
+            return HashValue(token.text)
+        if token.type is TokenType.PUBKEY:
+            index += 1
+            return PubKeyValue(token.text)
+        if token.type in (TokenType.STRING, TokenType.IDENT):
+            name = token.text
+            index += 1
+            if tokens[index].type is TokenType.LPAREN:
+                index += 1
+                args = []
+                if tokens[index].type is not TokenType.RPAREN:
+                    args.append(parse_value())
+                    while tokens[index].type is TokenType.COMMA:
+                        index += 1
+                        args.append(parse_value())
+                if tokens[index].type is not TokenType.RPAREN:
+                    raise PolicyError("expected )")
+                index += 1
+                return TupleValue(name=name, args=tuple(args))
+            return StrValue(name)
+        raise PolicyError("not a value")
+
+    try:
+        value = parse_value()
+        if tokens[index].type is not TokenType.EOF:
+            return None
+        return value if isinstance(value, TupleValue) else None
+    except (PolicyError, IndexError):
+        return None
+
+
+def render_tuple(tup: TupleValue) -> str:
+    """Render a tuple as a content line ``parse_content_tuples`` reads."""
+    return tup.render()
+
+
+@dataclass
+class VersionInfo:
+    """Metadata + facts for one version of one object."""
+
+    size: int
+    content_hash: str
+    policy_hash: str = ""
+    tuples: list = field(default_factory=list)
+
+    @classmethod
+    def from_content(
+        cls, data: bytes, policy_hash: str = ""
+    ) -> "VersionInfo":
+        return cls(
+            size=len(data),
+            content_hash=content_hash(data),
+            policy_hash=policy_hash,
+            tuples=parse_content_tuples(data),
+        )
+
+
+@dataclass
+class ObjectView:
+    """What policies can see of one object."""
+
+    object_id: str
+    current_version: int
+    versions: dict = field(default_factory=dict)  # version -> VersionInfo
+
+    def info(self, version: int) -> VersionInfo | None:
+        return self.versions.get(version)
+
+
+@dataclass
+class EvalContext:
+    """Everything observable during one permission check."""
+
+    #: The operation being checked: "read" | "update" | "delete".
+    operation: str
+    #: Authenticated client key fingerprint (from the TLS session).
+    session_key: str
+    #: Target object id, or None when it does not exist yet.
+    this_id: str | None = None
+    #: The log object id bound to ``log`` (MAL convention), if any.
+    log_id: str | None = None
+    #: The version argument the client supplied with a put/update.
+    request_version: int | None = None
+    #: Object views by id (must include this/log when referenced).
+    objects: dict = field(default_factory=dict)
+    #: The pending write for the target object, observable as version
+    #: current+1 (or 0 on creation).
+    pending: VersionInfo | None = None
+    #: Certificates presented with the request (plus any chain links).
+    certificates: list = field(default_factory=list)
+    #: Known public keys by fingerprint — presented certificate keys
+    #: plus controller-configured authorities.
+    key_registry: dict = field(default_factory=dict)
+    #: Trusted wall-clock of the controller (for validity windows).
+    now: float = 0.0
+    #: Nonce Pesos handed the client for certificate freshness.
+    nonce: str = ""
+
+    def __post_init__(self) -> None:
+        for certificate in self.certificates:
+            key = certificate.public_key
+            self.key_registry.setdefault(key.fingerprint(), key)
+
+    # -- object resolution -------------------------------------------------
+
+    def resolve_ref(self, name: str) -> str | None:
+        if name == "this":
+            return self.this_id
+        if name == "log":
+            return self.log_id
+        raise PolicyError(f"unknown object reference {name!r}")
+
+    def view(self, object_id: str) -> ObjectView | None:
+        return self.objects.get(object_id)
+
+    def version_info(self, object_id: str, version: int) -> VersionInfo | None:
+        """Version metadata, including the in-flight pending version."""
+        view = self.view(object_id)
+        if (
+            self.pending is not None
+            and object_id == self.this_id
+            and version == (view.current_version + 1 if view else 0)
+        ):
+            return self.pending
+        if view is None:
+            return None
+        return view.info(version)
+
+    # -- certificates --------------------------------------------------------
+
+    def authority_key(self, fingerprint: str) -> RsaPublicKey | None:
+        return self.key_registry.get(fingerprint)
+
+    def certified_tuples(
+        self, authority_fp: str, freshness: float | None
+    ) -> list[TupleValue]:
+        """Claims from presented certs that verify under ``authority_fp``.
+
+        A certificate counts when: the authority key is known, the
+        signature verifies, the validity window contains ``now``, the
+        certificate is no older than ``freshness`` seconds (when
+        given), and — if the certificate carries a nonce — the nonce
+        matches the one Pesos issued for this session.
+        """
+        authority = self.authority_key(authority_fp)
+        if authority is None:
+            return []
+        facts: list[TupleValue] = []
+        for certificate in self.certificates:
+            if not isinstance(certificate, Certificate):
+                continue
+            if not certificate.verify_signature(authority):
+                continue
+            if not certificate.is_valid_at(self.now):
+                continue
+            if freshness is not None and (
+                self.now - certificate.not_before
+            ) > freshness:
+                continue
+            if certificate.nonce and certificate.nonce != self.nonce:
+                continue
+            for name, args in certificate.claims:
+                facts.append(claim_to_tuple(name, args))
+        return facts
+
+
+def claim_to_tuple(name: str, args: tuple) -> TupleValue:
+    """Convert a certificate claim into a policy tuple value.
+
+    Claim arguments are JSON primitives; strings prefixed ``k:`` become
+    public-key values and ``h:`` hash values.
+    """
+    converted = []
+    for arg in args:
+        if isinstance(arg, bool):
+            converted.append(IntValue(int(arg)))
+        elif isinstance(arg, (int, float)):
+            converted.append(IntValue(int(arg)))
+        elif isinstance(arg, str) and arg.startswith("k:"):
+            converted.append(PubKeyValue(arg[2:]))
+        elif isinstance(arg, str) and arg.startswith("h:"):
+            converted.append(HashValue(arg[2:]))
+        elif isinstance(arg, str):
+            converted.append(StrValue(arg))
+        elif isinstance(arg, (list, tuple)) and arg and isinstance(arg[0], str):
+            converted.append(claim_to_tuple(arg[0], tuple(arg[1:])))
+        else:
+            raise PolicyError(f"cannot convert claim argument {arg!r}")
+    return TupleValue(name=name, args=tuple(converted))

@@ -1,0 +1,175 @@
+"""Tokenizer for the policy language (the Flex stand-in).
+
+Syntax accepted::
+
+    read   :- sessionKeyIs(k'abc123') \\/ sessionKeyIs(K)
+    update :- objId(this, O) /\\ currVersion(O, V) /\\ nextVersion(V + 1)
+    # comments run to end of line
+
+Conjunction is ``/\\`` or ``and`` (``∧`` accepted); disjunction is
+``\\/`` or ``or`` (``∨`` accepted).  ``h'<hex>'`` is a hash literal,
+``k'<fingerprint>'`` a public-key literal; plain quoted text is a
+string.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import PolicySyntaxError
+
+
+class TokenType(enum.Enum):
+    IDENT = "ident"
+    INT = "int"
+    STRING = "string"
+    HASH = "hash"
+    PUBKEY = "pubkey"
+    GRANT = ":-"
+    AND = "and"
+    OR = "or"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    PLUS = "+"
+    MINUS = "-"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.text!r}, {self.line}:{self.column})"
+
+
+_SINGLE_CHAR = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    ",": TokenType.COMMA,
+    "+": TokenType.PLUS,
+}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert policy source text into a token list ending with EOF."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    def error(message: str) -> PolicySyntaxError:
+        return PolicySyntaxError(message, line=line, column=column)
+
+    while index < length:
+        char = source[index]
+
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char == "#" or source.startswith("//", index):
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+
+        start_column = column
+
+        if source.startswith(":-", index):
+            tokens.append(Token(TokenType.GRANT, ":-", line, start_column))
+            index += 2
+            column += 2
+            continue
+        if source.startswith("/\\", index) or char == "∧":
+            width = 1 if char == "∧" else 2
+            tokens.append(Token(TokenType.AND, "/\\", line, start_column))
+            index += width
+            column += width
+            continue
+        if source.startswith("\\/", index) or char == "∨":
+            width = 1 if char == "∨" else 2
+            tokens.append(Token(TokenType.OR, "\\/", line, start_column))
+            index += width
+            column += width
+            continue
+        if char in _SINGLE_CHAR:
+            tokens.append(Token(_SINGLE_CHAR[char], char, line, start_column))
+            index += 1
+            column += 1
+            continue
+        if char == "-":
+            tokens.append(Token(TokenType.MINUS, "-", line, start_column))
+            index += 1
+            column += 1
+            continue
+
+        if char in "'\"":
+            quote = char
+            end = source.find(quote, index + 1)
+            if end < 0:
+                raise error("unterminated string literal")
+            text = source[index + 1 : end]
+            if "\n" in text:
+                raise error("string literal spans lines")
+            tokens.append(Token(TokenType.STRING, text, line, start_column))
+            column += end + 1 - index
+            index = end + 1
+            continue
+
+        if char.isdigit():
+            end = index
+            while end < length and source[end].isdigit():
+                end += 1
+            tokens.append(
+                Token(TokenType.INT, source[index:end], line, start_column)
+            )
+            column += end - index
+            index = end
+            continue
+
+        if char.isalpha() or char == "_":
+            # h'...' and k'...' literals: a one-letter prefix glued to a
+            # quote.
+            if char in "hk" and index + 1 < length and source[index + 1] in "'\"":
+                quote = source[index + 1]
+                end = source.find(quote, index + 2)
+                if end < 0:
+                    raise error(f"unterminated {char}'...' literal")
+                text = source[index + 2 : end]
+                token_type = (
+                    TokenType.HASH if char == "h" else TokenType.PUBKEY
+                )
+                tokens.append(Token(token_type, text, line, start_column))
+                column += end + 1 - index
+                index = end + 1
+                continue
+            end = index
+            while end < length and (source[end].isalnum() or source[end] == "_"):
+                end += 1
+            word = source[index:end]
+            lowered = word.lower()
+            if lowered == "and":
+                tokens.append(Token(TokenType.AND, word, line, start_column))
+            elif lowered == "or":
+                tokens.append(Token(TokenType.OR, word, line, start_column))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, line, start_column))
+            column += end - index
+            index = end
+            continue
+
+        raise error(f"unexpected character {char!r}")
+
+    tokens.append(Token(TokenType.EOF, "", line, column))
+    return tokens

@@ -1,0 +1,81 @@
+"""Decompiler: binary policies back to auditable source text.
+
+The paper argues the declarative abstraction matters for *auditing*
+policies (§1).  Auditors receive compiled blobs from the store (that
+is what ``get_policy`` returns and what ``objPolicy`` hashes), so this
+module renders a :class:`~repro.policy.binary.CompiledPolicy` back
+into language source.  Round-tripping is semantics-preserving:
+``compile(render(p))`` produces the same policy hash as ``p`` for any
+policy compiled from source, because rendering reuses the compiler's
+canonical constant/slot ordering.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PolicyFormatError
+from repro.policy.binary import CompiledPolicy, Instruction
+from repro.policy.predicates import predicate_by_opcode
+
+
+def _render_expr(expr, policy: CompiledPolicy) -> str:
+    kind = expr[0]
+    if kind == "c":
+        return policy.constants[expr[1]].render()
+    if kind == "v":
+        return policy.variables[expr[1]]
+    if kind == "r":
+        return expr[1]
+    if kind == "a":
+        left = _render_expr(expr[2], policy)
+        right = _render_expr(expr[3], policy)
+        return f"{left} {expr[1]} {right}"
+    if kind == "t":
+        name = policy.constants[expr[1]].value
+        args = ", ".join(_render_expr(arg, policy) for arg in expr[2])
+        return f"'{name}'({args})"
+    raise PolicyFormatError(f"unknown expression kind {kind!r}")
+
+
+def _render_instruction(inst: Instruction, policy: CompiledPolicy) -> str:
+    spec = predicate_by_opcode(inst.opcode)
+    args = ", ".join(_render_expr(arg, policy) for arg in inst.args)
+    return f"{spec.name}({args})"
+
+
+def render_policy(policy: CompiledPolicy) -> str:
+    """Render a compiled policy as language source text."""
+    lines = []
+    for operation in ("read", "update", "delete"):
+        clauses = policy.permissions.get(operation)
+        if not clauses:
+            continue
+        rendered_clauses = [
+            " /\\ ".join(
+                _render_instruction(inst, policy) for inst in clause
+            )
+            for clause in clauses
+        ]
+        lines.append(f"{operation} :- " + " \\/ ".join(rendered_clauses))
+    return "\n".join(lines)
+
+
+def explain_policy(policy: CompiledPolicy) -> str:
+    """A structured, human-oriented summary for audit reports."""
+    lines = [
+        f"policy {policy.policy_hash()[:16]}... "
+        f"({policy.size_bytes()} bytes compiled)",
+        f"  variables: {', '.join(policy.variables) or '(none)'}",
+        f"  constants: {len(policy.constants)}",
+    ]
+    for operation in ("read", "update", "delete"):
+        clauses = policy.permissions.get(operation)
+        if not clauses:
+            lines.append(f"  {operation}: never granted")
+            continue
+        lines.append(f"  {operation}: any of")
+        for clause in clauses:
+            predicates = " and ".join(
+                _render_instruction(inst, policy) for inst in clause
+            )
+            lines.append(f"    - {predicates}")
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Shielded-execution substrate (Intel SGX + Scone stand-in).
+
+The paper runs the Pesos controller inside an SGX enclave via Scone.
+Enclave *hardware* is impractical to reproduce in Python, so this
+package models shielded execution at two levels:
+
+**Functional** — the security workflow runs for real:
+
+- :mod:`repro.sgx.enclave` — enclave identity (measurement over the
+  loaded binary), sealing of secrets to the measurement.
+- :mod:`repro.sgx.attestation` — remote attestation: quotes signed by a
+  platform quoting key, and a Scone-CAS-style attestation service that
+  releases runtime secrets (TLS keys, disk credentials) only to
+  enclaves whose quote verifies against a registered measurement.
+- :mod:`repro.sgx.syscalls` — the FlexSC-style asynchronous system-call
+  interface (slots + submission/return queues).
+- :mod:`repro.sgx.scheduler` — Scone's userspace threading: M green
+  threads multiplexed onto K enclave hardware threads, switching at
+  syscall preemption points.
+
+**Performance** — :mod:`repro.sgx.costs` and :mod:`repro.sgx.epc` carge
+the documented overheads (enclave transitions, cross-boundary copies,
+EPC paging beyond 96 MB) in the discrete-event benchmarks, calibrated
+to the paper's native-vs-SGX deltas.
+"""
+
+from repro.sgx.attestation import AttestationService, Quote, SgxPlatform
+from repro.sgx.costs import NATIVE_COSTS, SGX_COSTS, CostModel
+from repro.sgx.enclave import Enclave, EnclaveBinary
+from repro.sgx.epc import EpcModel
+from repro.sgx.scheduler import UserspaceScheduler
+from repro.sgx.shields import HostFileSystem, ShieldedFileSystem
+from repro.sgx.syscalls import AsyncSyscallInterface, SyscallRequest
+
+__all__ = [
+    "AsyncSyscallInterface",
+    "AttestationService",
+    "CostModel",
+    "Enclave",
+    "EnclaveBinary",
+    "EpcModel",
+    "HostFileSystem",
+    "NATIVE_COSTS",
+    "Quote",
+    "SGX_COSTS",
+    "SgxPlatform",
+    "ShieldedFileSystem",
+    "SyscallRequest",
+    "UserspaceScheduler",
+]

@@ -1,0 +1,87 @@
+"""Cost model for shielded execution, charged in virtual time.
+
+All values are seconds (virtual).  The SGX numbers follow the published
+measurements the paper builds on: enclave transitions cost microseconds
+(Scone/FlexSC motivation), asynchronous syscalls amortize most of that,
+cross-boundary copies pay an encryption/copy penalty, and EPC paging is
+2x-2000x an ordinary access (§2.1).
+
+The *native* model zeroes every enclave-specific cost, which is exactly
+how the paper builds its native comparison binary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Virtual-time costs for one controller configuration."""
+
+    name: str
+
+    #: Base CPU time to parse + route one client request (HTTP, REST).
+    request_parse: float = 2.0e-6
+    #: CPU time per byte moved through the request path (memcpy, TLS).
+    per_byte_copy: float = 0.30e-9
+    #: CPU time to evaluate one compiled policy (cache hit path).
+    policy_check: float = 0.8e-6
+    #: CPU time to compile a policy from source.
+    policy_compile: float = 40.0e-6
+    #: CPU time to load + validate a compiled policy fetched from disk
+    #: (binary decode, hash check, cache insertion).
+    policy_load: float = 45.0e-6
+    #: AES-GCM cost per byte for payload encryption (hardware AES-NI).
+    encrypt_per_byte: float = 0.45e-9
+    #: Fixed cost per AES-GCM operation (key schedule, tag).
+    encrypt_fixed: float = 0.35e-6
+
+    # -- enclave-specific ------------------------------------------------
+    #: Synchronous syscall (enclave exit + re-enter).  Zero for native.
+    syscall_sync: float = 0.0
+    #: Asynchronous syscall submission (shared-memory slot + queue).
+    syscall_async: float = 0.0
+    #: Extra per-byte cost crossing the enclave boundary (copy + shield).
+    boundary_per_byte: float = 0.0
+    #: Cost of one EPC page fault (evict + encrypt + load + verify).
+    epc_page_fault: float = 0.0
+    #: Usable EPC bytes (None = unlimited, i.e. native).
+    epc_limit: int | None = None
+
+    #: Whether the async syscall interface is enabled (Scone default).
+    async_syscalls: bool = True
+
+    def syscall_cost(self) -> float:
+        """Cost of issuing one system call under this configuration."""
+        if self.syscall_sync == 0.0 and self.syscall_async == 0.0:
+            return 0.0
+        return self.syscall_async if self.async_syscalls else self.syscall_sync
+
+    def copy_cost(self, nbytes: int) -> float:
+        """Cost of moving ``nbytes`` through the request path."""
+        return nbytes * (self.per_byte_copy + self.boundary_per_byte)
+
+    def encryption_cost(self, nbytes: int) -> float:
+        """Cost of AES-GCM over ``nbytes`` of payload."""
+        return self.encrypt_fixed + nbytes * self.encrypt_per_byte
+
+    def with_sync_syscalls(self) -> "CostModel":
+        """Ablation: disable the async syscall interface."""
+        return replace(self, name=self.name + "+sync", async_syscalls=False)
+
+
+#: Native (non-SGX) controller build: no enclave overheads.
+NATIVE_COSTS = CostModel(name="native")
+
+#: SGX controller (Scone) build.  Transition and paging costs follow the
+#: Scone paper's measurements on Skylake v1 SGX; the per-byte shield cost
+#: reflects transparent encryption of data crossing the boundary.
+SGX_COSTS = CostModel(
+    name="sgx",
+    syscall_sync=8.0e-6,
+    syscall_async=1.1e-6,
+    boundary_per_byte=0.25e-9,
+    epc_page_fault=12.0e-6,
+    epc_limit=96 * 1024 * 1024,
+)

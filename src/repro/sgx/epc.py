@@ -1,0 +1,85 @@
+"""Enclave Page Cache model.
+
+Current SGX hardware exposes ~96 MB of usable EPC (§2.1, §4.2).  When an
+enclave's resident working set exceeds that, the kernel driver pages
+enclave memory to regular DRAM — encrypting on evict and verifying a
+Merkle hash on reload — at a cost of 2x-2000x a normal access.
+
+:class:`EpcModel` tracks resident 4 KB pages with LRU replacement and
+reports the number of faults each memory access causes, which the
+benchmark harness converts into virtual time via
+:attr:`repro.sgx.costs.CostModel.epc_page_fault`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import ConfigurationError
+
+PAGE_SIZE = 4096
+
+
+class EpcModel:
+    """LRU-resident-set model of the enclave page cache.
+
+    Addresses are abstract region names plus offsets: callers touch
+    byte ranges of named regions (e.g. ``("object-cache", 0, 65536)``),
+    and the model reports how many of those pages faulted.
+    """
+
+    def __init__(self, capacity_bytes: int | None):
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ConfigurationError("EPC capacity must be positive")
+        self.capacity_pages = (
+            None if capacity_bytes is None else capacity_bytes // PAGE_SIZE
+        )
+        self._resident: OrderedDict[tuple[str, int], None] = OrderedDict()
+        self.total_faults = 0
+        self.total_accesses = 0
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._resident)
+
+    @property
+    def resident_bytes(self) -> int:
+        return len(self._resident) * PAGE_SIZE
+
+    def touch(self, region: str, offset: int, length: int) -> int:
+        """Access ``length`` bytes of ``region`` at ``offset``.
+
+        Returns the number of page faults this access incurred (0 when
+        everything was resident or the EPC is unlimited).
+        """
+        if length <= 0:
+            return 0
+        first = offset // PAGE_SIZE
+        last = (offset + length - 1) // PAGE_SIZE
+        faults = 0
+        for page_index in range(first, last + 1):
+            self.total_accesses += 1
+            key = (region, page_index)
+            if key in self._resident:
+                self._resident.move_to_end(key)
+                continue
+            if self.capacity_pages is not None:
+                faults += 1
+                while len(self._resident) >= self.capacity_pages:
+                    self._resident.popitem(last=False)
+            self._resident[key] = None
+        self.total_faults += faults
+        return faults
+
+    def evict_region(self, region: str) -> int:
+        """Drop every resident page of ``region``; returns pages dropped."""
+        victims = [key for key in self._resident if key[0] == region]
+        for key in victims:
+            del self._resident[key]
+        return len(victims)
+
+    def fault_rate(self) -> float:
+        """Fraction of page accesses that faulted so far."""
+        if not self.total_accesses:
+            return 0.0
+        return self.total_faults / self.total_accesses

@@ -1,0 +1,141 @@
+"""Asynchronous system-call interface (FlexSC / Scone style).
+
+Trap instructions are illegal inside an enclave; a synchronous call
+therefore costs an enclave exit + re-enter.  Scone instead passes
+syscalls through shared memory: the in-enclave wrapper writes arguments
+into a *slot*, pushes the slot index onto a submission queue, and an
+untrusted runtime thread outside the enclave executes the call and
+pushes the index back on a return queue (§4.6).
+
+This module implements that machinery functionally — real slots, real
+queues, an untrusted worker that executes Python callables — so tests
+can demonstrate ordering, slot reuse, and shield behaviour.  Benchmarks
+charge per-call virtual-time costs from the cost model instead of
+running the worker.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ConfigurationError, PesosError
+
+
+class SyscallQueueFull(PesosError):
+    """All syscall slots are in flight; the caller must back off."""
+
+
+@dataclass
+class SyscallRequest:
+    """One in-flight system call occupying a slot."""
+
+    slot: int
+    operation: str
+    args: tuple = ()
+    shielded_args: tuple = ()
+    result: Any = None
+    error: BaseException | None = None
+    done: bool = False
+
+
+@dataclass
+class Shield:
+    """Transparent argument protection (Scone file shields).
+
+    ``protect`` is applied to arguments on submission and ``unprotect``
+    to results on completion — modelling transparent encryption of data
+    written through syscalls plus basic Iago-attack validation of
+    results (e.g. a read must not return more than was asked).
+    """
+
+    protect: Callable[[Any], Any] = lambda value: value
+    unprotect: Callable[[Any], Any] = lambda value: value
+    validate: Callable[[SyscallRequest], None] = lambda request: None
+
+
+class AsyncSyscallInterface:
+    """Slots + submission/return queues between enclave and runtime."""
+
+    def __init__(self, num_slots: int = 64, shield: Shield | None = None):
+        if num_slots < 1:
+            raise ConfigurationError("need at least one syscall slot")
+        self._slots: list[SyscallRequest | None] = [None] * num_slots
+        self._free: deque[int] = deque(range(num_slots))
+        self._submission: deque[int] = deque()
+        self._returns: deque[int] = deque()
+        self._shield = shield or Shield()
+        self._handlers: dict[str, Callable[..., Any]] = {}
+        self.submitted = 0
+        self.completed = 0
+
+    # -- untrusted-runtime side ------------------------------------------
+
+    def register_handler(self, operation: str, handler: Callable[..., Any]) -> None:
+        """Install the untrusted implementation of an operation."""
+        self._handlers[operation] = handler
+
+    def run_worker(self, max_calls: int | None = None) -> int:
+        """Drain the submission queue like a syscall thread; returns count."""
+        executed = 0
+        while self._submission and (max_calls is None or executed < max_calls):
+            slot_index = self._submission.popleft()
+            request = self._slots[slot_index]
+            assert request is not None, "submitted slot must be populated"
+            handler = self._handlers.get(request.operation)
+            try:
+                if handler is None:
+                    raise PesosError(f"ENOSYS: {request.operation}")
+                request.result = handler(*request.shielded_args)
+            except BaseException as exc:  # noqa: BLE001 - errno semantics
+                request.error = exc
+            request.done = True
+            self._returns.append(slot_index)
+            executed += 1
+        return executed
+
+    # -- enclave side -------------------------------------------------------
+
+    def submit(self, operation: str, *args: Any) -> int:
+        """Populate a slot and enqueue it; returns the slot index."""
+        if not self._free:
+            raise SyscallQueueFull("no free syscall slots")
+        slot_index = self._free.popleft()
+        shielded = tuple(self._shield.protect(arg) for arg in args)
+        self._slots[slot_index] = SyscallRequest(
+            slot=slot_index, operation=operation, args=args, shielded_args=shielded
+        )
+        self._submission.append(slot_index)
+        self.submitted += 1
+        return slot_index
+
+    def poll(self) -> SyscallRequest | None:
+        """Pop one completed request from the return queue, if any."""
+        if not self._returns:
+            return None
+        slot_index = self._returns.popleft()
+        request = self._slots[slot_index]
+        assert request is not None and request.done
+        self._shield.validate(request)
+        if request.error is None:
+            request.result = self._shield.unprotect(request.result)
+        self._slots[slot_index] = None
+        self._free.append(slot_index)
+        self.completed += 1
+        return request
+
+    def call(self, operation: str, *args: Any) -> Any:
+        """Submit + run worker + poll: the synchronous convenience path."""
+        self.submit(operation, *args)
+        self.run_worker()
+        request = self.poll()
+        assert request is not None
+        if request.error is not None:
+            raise request.error
+        return request.result
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._slots) - len(self._free)

@@ -1,0 +1,114 @@
+"""Shared resources for simulated processes: servers and message stores."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.sim.core import Environment, Event, SimulationError
+
+
+class Resource:
+    """A capacity-bounded server pool with a FIFO wait queue.
+
+    A process acquires a slot with ``yield resource.acquire()`` and must
+    release it with ``resource.release()``.  Used to model CPU cores,
+    controller worker threads, disk queues, and NIC serialization.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+        # Metrics for utilization accounting.
+        self._busy_time = 0.0
+        self._last_change = env.now
+        self.total_acquired = 0
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_len(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Return an event that fires once a slot is held."""
+        event = self.env.event()
+        if self._in_use < self.capacity:
+            self._account()
+            self._in_use += 1
+            self.total_acquired += 1
+            event.succeed(self)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Free one held slot, waking the oldest waiter."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without acquire()")
+        if self._waiters:
+            # Hand the slot directly to the next waiter; _in_use unchanged.
+            self.total_acquired += 1
+            self._waiters.popleft().succeed(self)
+        else:
+            self._account()
+            self._in_use -= 1
+
+    def utilization(self) -> float:
+        """Busy fraction (slot-seconds used / slot-seconds offered)."""
+        self._account()
+        elapsed = self.env.now
+        if elapsed <= 0:
+            return 0.0
+        return self._busy_time / (elapsed * self.capacity)
+
+    def _account(self) -> None:
+        now = self.env.now
+        self._busy_time += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+
+class Store:
+    """An unbounded FIFO message queue between processes.
+
+    ``put`` never blocks; ``get`` returns an event that fires when an
+    item is available.  Models syscall submission/return queues and the
+    Kinetic client's pending-request ring buffer.
+    """
+
+    def __init__(self, env: Environment, capacity: int | None = None):
+        self.env = env
+        self.capacity = capacity
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self.total_put = 0
+        self.max_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Enqueue ``item``; wakes one pending getter if any."""
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            raise SimulationError("store is full")
+        self.total_put += 1
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+            self.max_depth = max(self.max_depth, len(self._items))
+
+    def get(self) -> Event:
+        """Return an event yielding the next item."""
+        event = self.env.event()
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event

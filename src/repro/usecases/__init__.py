@@ -1,0 +1,31 @@
+"""The paper's four real-world use cases (§5), built on the public API.
+
+Each helper only composes policies and requests — all enforcement
+happens in the controller, demonstrating that the policy language
+covers these workflows without controller changes:
+
+- :mod:`repro.usecases.content_server` — per-object ACLs (§5.1).
+- :mod:`repro.usecases.time_based` — time capsules and storage leases
+  backed by a time authority issuing signed time certificates (§5.2).
+- :mod:`repro.usecases.versioned` — versioned storage where updates
+  must supply the successor version number (§5.3).
+- :mod:`repro.usecases.mal` — mandatory access logging: every access
+  requires a matching intent entry in an append-only log (§5.4).
+"""
+
+from repro.usecases.content_server import ContentServer, acl_policy
+from repro.usecases.mal import MalStore, mal_policy
+from repro.usecases.time_based import TimeAuthority, TimeVault, time_policy
+from repro.usecases.versioned import VersionedStore, versioned_policy
+
+__all__ = [
+    "ContentServer",
+    "MalStore",
+    "TimeAuthority",
+    "TimeVault",
+    "VersionedStore",
+    "acl_policy",
+    "mal_policy",
+    "time_policy",
+    "versioned_policy",
+]

@@ -1,0 +1,82 @@
+"""Content server with per-object access control lists (§5.1).
+
+The paper's example policy::
+
+    read    :- sessionKeyIs(K_alice) \\/ sessionKeyIs(K_bob)
+    update  :- sessionKeyIs(K_alice)
+    destroy :- sessionKeyIs(K_admin)
+
+Clients are identified by the certificate fingerprint of their TLS
+session; ACLs are simply lists of those fingerprints.
+"""
+
+from __future__ import annotations
+
+from repro.core.controller import PesosController
+from repro.core.request import Response
+from repro.errors import ConfigurationError
+
+
+def acl_policy(
+    readers: list[str],
+    writers: list[str],
+    deleters: list[str] | None = None,
+) -> str:
+    """Render an access-control policy for the given fingerprints."""
+    if not readers and not writers:
+        raise ConfigurationError("ACL needs at least one reader or writer")
+
+    def clause(fingerprints: list[str]) -> str:
+        return " \\/ ".join(f"sessionKeyIs(k'{fp}')" for fp in fingerprints)
+
+    lines = []
+    if readers:
+        lines.append(f"read :- {clause(readers)}")
+    if writers:
+        lines.append(f"update :- {clause(writers)}")
+    if deleters:
+        lines.append(f"delete :- {clause(deleters)}")
+    return "\n".join(lines)
+
+
+class ContentServer:
+    """Serves objects to clients subject to per-object ACLs."""
+
+    def __init__(self, controller: PesosController, admin_fingerprint: str):
+        self.controller = controller
+        self.admin = admin_fingerprint
+        self._policy_ids: dict[tuple, str] = {}
+
+    def _policy_for(
+        self, readers: list[str], writers: list[str]
+    ) -> str:
+        """Install (or reuse) the ACL policy for this reader/writer set."""
+        cache_key = (tuple(readers), tuple(writers))
+        if cache_key not in self._policy_ids:
+            source = acl_policy(readers, writers, deleters=[self.admin])
+            response = self.controller.put_policy(self.admin, source)
+            if not response.ok:
+                raise ConfigurationError(f"policy rejected: {response.error}")
+            self._policy_ids[cache_key] = response.policy_id
+        return self._policy_ids[cache_key]
+
+    def publish(
+        self,
+        owner: str,
+        key: str,
+        content: bytes,
+        readers: list[str],
+        writers: list[str] | None = None,
+    ) -> Response:
+        """Upload content readable by ``readers``, writable by ``writers``."""
+        writers = writers if writers is not None else [owner]
+        if owner not in writers:
+            writers = [owner, *writers]
+        policy_id = self._policy_for(readers, writers)
+        return self.controller.put(owner, key, content, policy_id=policy_id)
+
+    def fetch(self, client: str, key: str) -> Response:
+        return self.controller.get(client, key)
+
+    def remove(self, client: str, key: str) -> Response:
+        return self.controller.delete(client, key)

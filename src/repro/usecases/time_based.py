@@ -1,0 +1,135 @@
+"""Time-based storage: time capsules and storage leases (§5.2).
+
+Time-based policies need a trusted time source.  Following the paper,
+a third-party *time authority* is named in the policy by its public
+key; clients fetch a signed time certificate (including the freshness
+nonce Pesos issued to their session) and present it with requests.
+
+The paper's example policy, including the chain of trust where a CA
+(``K_CA``) authorizes the time server key::
+
+    update :- certificateSays(K_CA, 'ts'(TSKEY))
+            /\\ certificateSays(TSKEY, 'time'(T))
+            /\\ ge(T, DATETIMESTAMP)
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.controller import PesosController
+from repro.core.request import Request, Response
+from repro.crypto.certs import Certificate, CertificateAuthority, KeyPair
+
+
+def time_policy(
+    ca_fingerprint: str,
+    release_timestamp: int,
+    owner: str,
+    freshness_seconds: int = 300,
+    mode: str = "capsule",
+) -> str:
+    """Render a time-based policy.
+
+    ``capsule``: nobody reads before ``release_timestamp``; the owner
+    can always update. ``lease``: reads are open, but updates/deletes
+    are forbidden until the timestamp passes (legal retention).
+    """
+    time_clause = (
+        f"certificateSays(k'{ca_fingerprint}', 'ts'(TSKEY))"
+        f" /\\ certificateSays(TSKEY, {freshness_seconds}, 'time'(T))"
+        f" /\\ ge(T, {release_timestamp})"
+    )
+    owner_clause = f"sessionKeyIs(k'{owner}')"
+    if mode == "capsule":
+        return (
+            f"read :- {time_clause}\n"
+            f"update :- {owner_clause}\n"
+            f"delete :- {owner_clause} /\\ {time_clause}"
+        )
+    if mode == "lease":
+        creation = f"objId(this, NULL) /\\ {owner_clause}"
+        return (
+            f"read :- sessionKeyIs(K)\n"
+            f"update :- {owner_clause} /\\ {time_clause} \\/ {creation}\n"
+            f"delete :- {owner_clause} /\\ {time_clause}"
+        )
+    raise ValueError(f"unknown time policy mode {mode!r}")
+
+
+class TimeAuthority:
+    """A time server whose key is certified by a CA (the trust chain)."""
+
+    def __init__(self, ca: CertificateAuthority, key_bits: int = 1024):
+        self.ca = ca
+        self._keypair: KeyPair = ca.issue_keypair("time-authority", key_bits=key_bits)
+        fingerprint = self._keypair.public_key.fingerprint()
+        #: The CA-signed statement that this key is a time server.
+        #: Valid across the whole unix-timestamp range so policies can
+        #: name absolute release dates.
+        self.endorsement: Certificate = ca.issue_certificate(
+            "time-authority-endorsement",
+            self._keypair.public_key,
+            claims=(("ts", (f"k:{fingerprint}",)),),
+            lifetime=1e11,
+        )
+
+    def certify_time(self, timestamp: int, nonce: str = "") -> Certificate:
+        """Issue a fresh time certificate, optionally nonce-bound."""
+        unsigned = Certificate(
+            subject="time-statement",
+            public_key=self._keypair.public_key,
+            issuer="time-authority",
+            serial=timestamp,
+            not_before=float(timestamp),
+            not_after=float(timestamp) + 3600.0,
+            claims=(("time", (int(timestamp),)),),
+            nonce=nonce,
+        )
+        return replace(
+            unsigned,
+            signature=self._keypair.private_key.sign(unsigned.tbs_bytes()),
+        )
+
+    def chain_for(self, timestamp: int, nonce: str = "") -> list[Certificate]:
+        """Endorsement + time statement, ready to attach to a request."""
+        return [self.endorsement, self.certify_time(timestamp, nonce)]
+
+
+class TimeVault:
+    """Time-capsule / lease storage built on the controller."""
+
+    def __init__(
+        self,
+        controller: PesosController,
+        authority: TimeAuthority,
+        ca_fingerprint: str,
+    ):
+        self.controller = controller
+        self.authority = authority
+        self.ca_fingerprint = ca_fingerprint
+
+    def seal_until(
+        self, owner: str, key: str, content: bytes, release_timestamp: int,
+        mode: str = "capsule",
+    ) -> Response:
+        """Store content that opens only after ``release_timestamp``."""
+        source = time_policy(
+            self.ca_fingerprint, release_timestamp, owner, mode=mode
+        )
+        policy = self.controller.put_policy(owner, source)
+        return self.controller.handle(
+            Request(method="put", key=key, value=content,
+                    policy_id=policy.policy_id),
+            owner,
+        )
+
+    def open_at(self, client: str, key: str, wall_clock: int) -> Response:
+        """Attempt a read, presenting a time certificate for ``wall_clock``."""
+        session = self.controller.sessions.connect(client, float(wall_clock))
+        chain = self.authority.chain_for(wall_clock, nonce=session.nonce)
+        return self.controller.handle(
+            Request(method="get", key=key, certificates=chain),
+            client,
+            now=float(wall_clock),
+        )

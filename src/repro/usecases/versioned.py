@@ -1,0 +1,91 @@
+"""Versioned storage (§5.3).
+
+The paper's policy: an update must carry the successor of the current
+version number (so concurrent writers cannot silently clobber each
+other), with an exception allowing initial creation at version 0::
+
+    update :- objId(this, O) /\\ currVersion(O, cV) /\\ nextVersion(cV + 1)
+           \\/ objId(this, NULL) /\\ nextVersion(0)
+
+Reads are open to all authenticated clients here; restricting history
+access to privileged clients is a matter of adding ACL clauses.
+"""
+
+from __future__ import annotations
+
+from repro.core.controller import PesosController
+from repro.core.request import Request, Response
+from repro.errors import PesosError
+
+
+def versioned_policy(writers: list[str] | None = None) -> str:
+    """The §5.3 update rule, optionally restricted to ``writers``."""
+    if not writers:
+        version_rule = (
+            "objId(this, O) /\\ currVersion(O, cV) /\\ nextVersion(cV + 1)"
+            " \\/ objId(this, NULL) /\\ nextVersion(0)"
+        )
+    else:
+        # The condition language is DNF, so the writer ACL is expanded
+        # across both the update and the creation disjunct per writer.
+        clauses = []
+        for fp in writers:
+            clauses.append(
+                f"objId(this, O) /\\ currVersion(O, cV)"
+                f" /\\ nextVersion(cV + 1) /\\ sessionKeyIs(k'{fp}')"
+            )
+            clauses.append(
+                f"objId(this, NULL) /\\ nextVersion(0)"
+                f" /\\ sessionKeyIs(k'{fp}')"
+            )
+        version_rule = " \\/ ".join(clauses)
+    return f"read :- sessionKeyIs(K)\nupdate :- {version_rule}"
+
+
+class VersionedStore:
+    """Client-side helper enforcing the §5.3 update discipline."""
+
+    def __init__(self, controller: PesosController, writers=None):
+        self.controller = controller
+        self._policy_id: str | None = None
+        self._writers = writers
+
+    def _policy(self, fingerprint: str) -> str:
+        if self._policy_id is None:
+            response = self.controller.put_policy(
+                fingerprint, versioned_policy(self._writers)
+            )
+            if not response.ok:
+                raise PesosError(f"policy install failed: {response.error}")
+            self._policy_id = response.policy_id
+        return self._policy_id
+
+    def put(
+        self, client: str, key: str, value: bytes, expected_version: int
+    ) -> Response:
+        """Write ``value`` as version ``expected_version`` (0 to create)."""
+        return self.controller.handle(
+            Request(
+                method="put",
+                key=key,
+                value=value,
+                policy_id=self._policy(client),
+                version=expected_version,
+            ),
+            client,
+        )
+
+    def get(self, client: str, key: str, version: int | None = None) -> Response:
+        return self.controller.get(client, key, version=version)
+
+    def history(self, client: str, key: str) -> list[bytes]:
+        """Every surviving version of ``key``, oldest first."""
+        latest = self.controller.get(client, key)
+        if not latest.ok:
+            raise PesosError(latest.error)
+        values = []
+        for version in range(latest.version + 1):
+            response = self.controller.get(client, key, version=version)
+            if response.ok:
+                values.append(response.value)
+        return values

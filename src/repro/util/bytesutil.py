@@ -1,0 +1,34 @@
+"""Byte-string helpers used across subsystems."""
+
+from __future__ import annotations
+
+_UNITS = {"B": 1, "KB": 1 << 10, "MB": 1 << 20, "GB": 1 << 30, "TB": 1 << 40}
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def parse_size(text: str) -> int:
+    """Parse a human size like ``"96MB"`` or ``"1 KB"`` into bytes."""
+    cleaned = text.strip().upper().replace(" ", "")
+    for unit in sorted(_UNITS, key=len, reverse=True):
+        if cleaned.endswith(unit):
+            number = cleaned[: -len(unit)]
+            return int(float(number) * _UNITS[unit])
+    return int(cleaned)
+
+
+def fmt_size(nbytes: int) -> str:
+    """Render a byte count as a short human string (``1.5MB``)."""
+    value = float(nbytes)
+    for unit in ("B", "KB", "MB", "GB"):
+        if value < 1024 or unit == "GB":
+            if unit == "B":
+                return f"{int(value)}B"
+            return f"{value:.1f}{unit}".replace(".0", "")
+        value /= 1024
+    raise AssertionError("unreachable")

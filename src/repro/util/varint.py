@@ -1,0 +1,74 @@
+"""LEB128-style unsigned varints.
+
+Both the Kinetic wire protocol (a protobuf stand-in) and the compiled
+policy binary format use varints for compact length/field encoding.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.errors import PesosError
+
+
+class VarintError(PesosError):
+    """Varint is malformed (truncated or longer than 64 bits)."""
+
+
+_MAX_VARINT_BYTES = 10  # 64 bits / 7 bits-per-byte, rounded up
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode a non-negative integer as a LEB128 varint."""
+    if value < 0:
+        raise VarintError(f"varints are unsigned, got {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a varint from ``data`` starting at ``offset``.
+
+    Returns ``(value, next_offset)``.
+    """
+    result = 0
+    shift = 0
+    pos = offset
+    for _ in range(_MAX_VARINT_BYTES):
+        if pos >= len(data):
+            raise VarintError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+    raise VarintError("varint exceeds 64 bits")
+
+
+def write_varint(stream: io.BytesIO, value: int) -> None:
+    """Append a varint to a binary stream."""
+    stream.write(encode_varint(value))
+
+
+def read_varint(stream: io.BytesIO) -> int:
+    """Read one varint from a binary stream."""
+    result = 0
+    shift = 0
+    for _ in range(_MAX_VARINT_BYTES):
+        chunk = stream.read(1)
+        if not chunk:
+            raise VarintError("truncated varint")
+        byte = chunk[0]
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result
+        shift += 7
+    raise VarintError("varint exceeds 64 bits")

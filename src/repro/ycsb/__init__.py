@@ -1,0 +1,42 @@
+"""YCSB workload generation (Cooper et al., SoCC'10).
+
+The paper drives Pesos with YCSB traces generated ahead of time and
+replayed through an adapted client (§6.1).  This package reproduces
+that pipeline: key-choice distributions
+(:mod:`repro.ycsb.distributions`), the stock workload definitions A-D
+plus trace generation (:mod:`repro.ycsb.workload`), and a replayer
+that runs a trace against a controller (:mod:`repro.ycsb.runner`).
+"""
+
+from repro.ycsb.distributions import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+)
+from repro.ycsb.runner import TraceRunner, load_phase
+from repro.ycsb.workload import (
+    Operation,
+    WorkloadSpec,
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WORKLOAD_C,
+    WORKLOAD_D,
+    generate_trace,
+)
+
+__all__ = [
+    "LatestGenerator",
+    "Operation",
+    "ScrambledZipfianGenerator",
+    "TraceRunner",
+    "UniformGenerator",
+    "WORKLOAD_A",
+    "WORKLOAD_B",
+    "WORKLOAD_C",
+    "WORKLOAD_D",
+    "WorkloadSpec",
+    "ZipfianGenerator",
+    "generate_trace",
+    "load_phase",
+]

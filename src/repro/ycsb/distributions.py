@@ -1,0 +1,119 @@
+"""YCSB key-choice distributions.
+
+Implementations follow the reference YCSB generators: Gray et al.'s
+"Quickly generating billion-record synthetic databases" algorithm for
+the Zipfian family (constant ``theta = 0.99``), an FNV-hash scramble
+to spread the popular head across the keyspace, and the "latest"
+transform that favours recently inserted records.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigurationError
+
+ZIPFIAN_CONSTANT = 0.99
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def fnv_hash64(value: int) -> int:
+    """FNV-1a over the 8 bytes of ``value`` (YCSB's scramble hash)."""
+    result = _FNV_OFFSET
+    for _ in range(8):
+        octet = value & 0xFF
+        value >>= 8
+        result ^= octet
+        result = (result * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return result
+
+
+class UniformGenerator:
+    """Uniform choice over ``[0, item_count)``."""
+
+    def __init__(self, item_count: int, rng: random.Random):
+        if item_count <= 0:
+            raise ConfigurationError("item_count must be positive")
+        self.item_count = item_count
+        self._rng = rng
+
+    def next(self) -> int:
+        return self._rng.randrange(self.item_count)
+
+
+class ZipfianGenerator:
+    """Zipf-distributed choice: item 0 most popular."""
+
+    def __init__(
+        self,
+        item_count: int,
+        rng: random.Random,
+        theta: float = ZIPFIAN_CONSTANT,
+    ):
+        if item_count <= 0:
+            raise ConfigurationError("item_count must be positive")
+        self.item_count = item_count
+        self.theta = theta
+        self._rng = rng
+        self._zetan = self._zeta(item_count, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (1 - (2.0 / item_count) ** (1 - theta)) / (
+            1 - self._zeta2 / self._zetan
+        )
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def grow_to(self, item_count: int) -> None:
+        """Extend the item space incrementally (O(new items) zeta)."""
+        if item_count < self.item_count:
+            raise ConfigurationError("zipfian item space cannot shrink")
+        for i in range(self.item_count + 1, item_count + 1):
+            self._zetan += 1.0 / (i ** self.theta)
+        self.item_count = item_count
+        self._eta = (1 - (2.0 / item_count) ** (1 - self.theta)) / (
+            1 - self._zeta2 / self._zetan
+        )
+
+    def next(self) -> int:
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(
+            self.item_count * (self._eta * u - self._eta + 1) ** self._alpha
+        )
+
+
+class ScrambledZipfianGenerator:
+    """Zipfian popularity spread over the keyspace by hashing."""
+
+    def __init__(self, item_count: int, rng: random.Random):
+        self.item_count = item_count
+        self._zipf = ZipfianGenerator(item_count, rng)
+
+    def next(self) -> int:
+        return fnv_hash64(self._zipf.next()) % self.item_count
+
+
+class LatestGenerator:
+    """Skewed towards the most recently inserted item (workload D)."""
+
+    def __init__(self, item_count: int, rng: random.Random):
+        self._zipf = ZipfianGenerator(item_count, rng)
+        self.item_count = item_count
+
+    def next(self) -> int:
+        offset = self._zipf.next()
+        return max(0, self.item_count - 1 - offset)
+
+    def grow(self) -> None:
+        """Record an insert: the window of items expands by one."""
+        self.item_count += 1
+        self._zipf.grow_to(self.item_count)

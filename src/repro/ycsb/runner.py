@@ -1,0 +1,117 @@
+"""Replay YCSB traces against a controller (the adapted client, §6.1)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.controller import PesosController
+from repro.core.request import Request
+from repro.ycsb.workload import INSERT, READ, Trace, UPDATE
+
+
+def _payload(size: int, rng: random.Random) -> bytes:
+    """Deterministic pseudo-random payload of ``size`` bytes."""
+    return rng.getrandbits(8 * size).to_bytes(size, "big") if size else b""
+
+
+def load_phase(
+    controller: PesosController,
+    trace: Trace,
+    fingerprint: str,
+    policy_id: str = "",
+    seed: int = 7,
+    version_aware: bool = False,
+) -> int:
+    """Insert every record of the trace's load phase; returns count."""
+    rng = random.Random(seed)
+    for key in trace.load_keys:
+        request = Request(
+            method="put",
+            key=key,
+            value=_payload(trace.spec.value_size, rng),
+            policy_id=policy_id,
+            version=0 if version_aware else None,
+        )
+        response = controller.handle(request, fingerprint)
+        if not response.ok:
+            raise RuntimeError(f"load failed on {key}: {response.error}")
+    return len(trace.load_keys)
+
+
+@dataclass
+class RunStats:
+    """Outcome counters for one replay."""
+
+    reads: int = 0
+    updates: int = 0
+    inserts: int = 0
+    denied: int = 0
+    errors: int = 0
+    statuses: dict = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.updates + self.inserts
+
+
+class TraceRunner:
+    """Replays a trace's operation phase through the controller."""
+
+    def __init__(
+        self,
+        controller: PesosController,
+        fingerprint: str,
+        policy_id: str = "",
+        version_aware: bool = False,
+        seed: int = 13,
+    ):
+        self.controller = controller
+        self.fingerprint = fingerprint
+        self.policy_id = policy_id
+        self.version_aware = version_aware
+        self._rng = random.Random(seed)
+        self.stats = RunStats()
+
+    def run(self, trace: Trace, limit: int | None = None) -> RunStats:
+        for index, operation in enumerate(trace.operations):
+            if limit is not None and index >= limit:
+                break
+            self.execute(operation)
+        return self.stats
+
+    def execute(self, operation) -> None:
+        """Run a single trace operation, updating counters."""
+        if operation.op == READ:
+            request = Request(method="get", key=operation.key)
+            self.stats.reads += 1
+        elif operation.op in (UPDATE, INSERT):
+            version = None
+            if self.version_aware:
+                meta = self.controller._get_meta(operation.key)
+                version = (
+                    meta.current_version + 1
+                    if meta is not None and meta.exists
+                    else 0
+                )
+            request = Request(
+                method="put",
+                key=operation.key,
+                value=_payload(operation.value_size, self._rng),
+                policy_id=self.policy_id,
+                version=version,
+            )
+            if operation.op == UPDATE:
+                self.stats.updates += 1
+            else:
+                self.stats.inserts += 1
+        else:
+            raise ValueError(f"unknown op {operation.op!r}")
+        response = self.controller.handle(request, self.fingerprint)
+        self.stats.statuses[response.status] = (
+            self.stats.statuses.get(response.status, 0) + 1
+        )
+        if response.status == 403:
+            self.stats.denied += 1
+        elif not response.ok:
+            self.stats.errors += 1

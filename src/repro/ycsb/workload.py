@@ -1,0 +1,139 @@
+"""YCSB workload definitions and trace generation.
+
+The paper (§6.1) configures YCSB for 100,000 operations over 100,000
+unique objects with 1 KB payloads, and reports that workloads A-D gave
+similar results (only workload A graphs are shown).  Traces are
+generated up front and replayed, exactly as the paper does to take the
+generator off the measurement path.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.ycsb.distributions import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+)
+
+READ = "read"
+UPDATE = "update"
+INSERT = "insert"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One trace entry."""
+
+    op: str
+    key: str
+    value_size: int = 0
+
+
+@dataclass
+class WorkloadSpec:
+    """Proportions and parameters for one workload."""
+
+    name: str
+    read_proportion: float
+    update_proportion: float
+    insert_proportion: float = 0.0
+    distribution: str = "zipfian"  # zipfian | uniform | latest
+    record_count: int = 100_000
+    operation_count: int = 100_000
+    value_size: int = 1024
+
+    def __post_init__(self) -> None:
+        total = (
+            self.read_proportion
+            + self.update_proportion
+            + self.insert_proportion
+        )
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigurationError(
+                f"workload {self.name}: proportions sum to {total}, not 1"
+            )
+
+    def scaled(self, **overrides) -> "WorkloadSpec":
+        """Copy with some parameters replaced (payload sweeps etc.)."""
+        from dataclasses import replace
+
+        return replace(self, **overrides)
+
+
+#: The four stock workloads (§6.1).
+WORKLOAD_A = WorkloadSpec("A", read_proportion=0.5, update_proportion=0.5)
+WORKLOAD_B = WorkloadSpec("B", read_proportion=0.95, update_proportion=0.05)
+WORKLOAD_C = WorkloadSpec("C", read_proportion=1.0, update_proportion=0.0)
+WORKLOAD_D = WorkloadSpec(
+    "D",
+    read_proportion=0.95,
+    update_proportion=0.0,
+    insert_proportion=0.05,
+    distribution="latest",
+)
+
+
+def key_name(index: int) -> str:
+    """YCSB-style key naming."""
+    return f"user{index:012d}"
+
+
+@dataclass
+class Trace:
+    """A generated workload: load phase keys + transaction phase ops."""
+
+    spec: WorkloadSpec
+    load_keys: list = field(default_factory=list)
+    operations: list = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+
+def _make_chooser(spec: WorkloadSpec, count: int, rng: random.Random):
+    if spec.distribution == "zipfian":
+        return ScrambledZipfianGenerator(count, rng)
+    if spec.distribution == "uniform":
+        return UniformGenerator(count, rng)
+    if spec.distribution == "latest":
+        return LatestGenerator(count, rng)
+    raise ConfigurationError(f"unknown distribution {spec.distribution!r}")
+
+
+def generate_trace(spec: WorkloadSpec, seed: int = 42) -> Trace:
+    """Generate the load phase and operation trace for ``spec``."""
+    rng = random.Random(seed)
+    trace = Trace(spec=spec)
+    trace.load_keys = [key_name(i) for i in range(spec.record_count)]
+    chooser = _make_chooser(spec, spec.record_count, rng)
+    insert_count = spec.record_count
+    for _ in range(spec.operation_count):
+        dice = rng.random()
+        if dice < spec.read_proportion:
+            trace.operations.append(
+                Operation(op=READ, key=key_name(chooser.next()))
+            )
+        elif dice < spec.read_proportion + spec.update_proportion:
+            trace.operations.append(
+                Operation(
+                    op=UPDATE,
+                    key=key_name(chooser.next()),
+                    value_size=spec.value_size,
+                )
+            )
+        else:
+            trace.operations.append(
+                Operation(
+                    op=INSERT,
+                    key=key_name(insert_count),
+                    value_size=spec.value_size,
+                )
+            )
+            insert_count += 1
+            if isinstance(chooser, LatestGenerator):
+                chooser.grow()
+    return trace

@@ -1,0 +1,28 @@
+"""The python -m repro.bench command-line entry point."""
+
+import os
+
+import pytest
+
+from repro.bench.__main__ import _RUNNERS, main
+
+
+def test_unknown_experiment_rejected(capsys):
+    assert main(["not-a-figure"]) == 2
+    out = capsys.readouterr().out
+    assert "unknown experiments" in out
+
+
+def test_runner_table_covers_all_figures():
+    for name in ("fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+                 "fig10", "enc"):
+        assert name in _RUNNERS
+
+
+def test_cli_runs_one_experiment(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.05")
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    assert main(["abl-epc"]) == 0
+    out = capsys.readouterr().out
+    assert "AblEpc" in out
+    assert os.path.exists(tmp_path / "ablepc.json")

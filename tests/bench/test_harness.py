@@ -1,0 +1,90 @@
+"""Experiment harness: building, loading, and measuring points."""
+
+import pytest
+
+from repro.bench.configs import make_config
+from repro.bench.harness import build_system, run_point, sweep_clients
+from repro.ycsb.workload import WORKLOAD_A
+
+TINY = WORKLOAD_A.scaled(record_count=200, operation_count=400, value_size=256)
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    return build_system(
+        make_config("sgx", "sim"),
+        workload=TINY,
+        policy_source="read :- sessionKeyIs(K)\nupdate :- sessionKeyIs(K)",
+    )
+
+
+def test_build_loads_all_records(loaded):
+    first = loaded.trace.load_keys[0]
+    response = loaded.controller.get("fp-bench", first)
+    assert response.ok
+    assert len(response.value) == 256
+
+
+def test_build_installs_policy(loaded):
+    assert loaded.policy_id
+    meta = loaded.controller._get_meta(loaded.trace.load_keys[0])
+    assert meta.policy_id == loaded.policy_id
+
+
+def test_run_point_measures_throughput(loaded):
+    result = run_point(loaded, 10, measure_ops=300, warmup_ops=50)
+    assert result.throughput > 0
+    assert result.mean_latency > 0
+    assert result.p99_latency >= result.p50_latency
+    assert result.operations == 300
+    assert result.denied == 0
+    assert result.errors == 0
+
+
+def test_more_clients_more_throughput_until_saturation(loaded):
+    light = run_point(loaded, 1, measure_ops=200, warmup_ops=20)
+    heavy = run_point(loaded, 50, measure_ops=600, warmup_ops=60)
+    assert heavy.throughput > 2 * light.throughput
+
+
+def test_sweep_returns_point_per_count(loaded):
+    results = sweep_clients(loaded, [1, 5], measure_ops=150, warmup_ops=20)
+    assert [r.clients for r in results] == [1, 5]
+
+
+def test_result_row_shape(loaded):
+    result = run_point(loaded, 2, measure_ops=100, warmup_ops=10)
+    row = result.row()
+    assert set(row) == {"config", "clients", "kiops", "mean_ms", "p99_ms", "ops"}
+    assert row["config"] == "sgx-sim"
+
+
+def test_bad_policy_rejected():
+    with pytest.raises(RuntimeError, match="policy rejected"):
+        build_system(
+            make_config("sgx", "sim"), workload=TINY, policy_source="read :-"
+        )
+
+
+def test_version_aware_build():
+    from repro.usecases.versioned import versioned_policy
+
+    loaded = build_system(
+        make_config("native", "sim"),
+        workload=TINY,
+        policy_source=versioned_policy(),
+        version_aware=True,
+    )
+    result = run_point(loaded, 5, measure_ops=200, warmup_ops=20)
+    assert result.denied == 0
+    assert result.errors == 0
+
+
+def test_replicated_build_writes_everywhere():
+    config = make_config("sgx", "sim", num_drives=2)
+    from dataclasses import replace
+
+    config = replace(config, replication_factor=2)
+    loaded = build_system(config, workload=TINY)
+    for drive in loaded.cluster:
+        assert drive.key_count > 0

@@ -1,0 +1,73 @@
+"""Figure result collection and rendering."""
+
+import json
+
+from repro.bench.harness import ExperimentResult
+from repro.bench.report import FigureResult, format_table, save_figure
+
+
+def _result(kiops, clients=10):
+    return ExperimentResult(
+        config="test",
+        clients=clients,
+        throughput=kiops * 1000,
+        mean_latency=0.5e-3,
+        p50_latency=0.4e-3,
+        p99_latency=2.0e-3,
+        operations=1000,
+    )
+
+
+def test_add_and_lookup():
+    figure = FigureResult("FigX", "title", "clients")
+    figure.add("native", 10, _result(90))
+    figure.add("native", 20, _result(95))
+    assert figure.throughput_of("native", 10) == 90_000
+    assert figure.peak("native") == 95_000
+
+
+def test_lookup_missing_raises():
+    figure = FigureResult("FigX", "title", "clients")
+    figure.add("native", 10, _result(90))
+    try:
+        figure.throughput_of("native", 99)
+    except KeyError:
+        pass
+    else:
+        raise AssertionError("expected KeyError")
+
+
+def test_render_contains_series_and_notes():
+    figure = FigureResult(
+        "FigX", "demo figure", "clients", paper_notes=["expected shape"]
+    )
+    figure.add("native", 10, _result(90))
+    figure.add("sgx", 10, _result(85))
+    text = figure.render()
+    assert "FigX" in text
+    assert "native" in text and "sgx" in text
+    assert "90.0" in text and "85.0" in text
+    assert "paper: expected shape" in text
+
+
+def test_render_latency_metric():
+    figure = FigureResult("FigX", "t", "clients")
+    figure.add("native", 10, _result(90))
+    assert "0.50" in figure.render(metric="latency_ms")
+
+
+def test_format_table_alignment():
+    table = format_table(["a", "bb"], [["1", "2"], ["33", "444"]])
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert all(len(line) == len(lines[0]) for line in lines)
+
+
+def test_save_figure_roundtrip(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    figure = FigureResult("FigY", "t", "x")
+    figure.add("s", 1, _result(50))
+    path = save_figure(figure)
+    data = json.loads(open(path).read())
+    assert data["figure"] == "FigY"
+    assert data["series"]["s"][0]["kiops"] == 50.0

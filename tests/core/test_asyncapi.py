@@ -1,0 +1,56 @@
+"""Async operation tracker: ids, buffering, the 2048-result bound."""
+
+import pytest
+
+from repro.core.asyncapi import RESULT_BUFFER_SIZE, AsyncTracker
+from repro.errors import ResultExpired
+
+
+def test_begin_issues_unique_ids():
+    tracker = AsyncTracker()
+    a = tracker.begin("fp")
+    b = tracker.begin("fp")
+    assert a.operation_id != b.operation_id
+
+
+def test_pending_then_done():
+    tracker = AsyncTracker()
+    entry = tracker.begin("fp")
+    assert not tracker.query(entry.operation_id, "fp").done
+    tracker.complete(entry.operation_id, {"status": 200})
+    result = tracker.query(entry.operation_id, "fp")
+    assert result.done
+    assert result.result == {"status": 200}
+
+
+def test_results_scoped_to_client():
+    tracker = AsyncTracker()
+    entry = tracker.begin("fp-owner")
+    tracker.complete(entry.operation_id, "secret")
+    with pytest.raises(ResultExpired):
+        tracker.query(entry.operation_id, "fp-other")
+
+
+def test_buffer_bounded_at_2048():
+    tracker = AsyncTracker()
+    first = tracker.begin("fp")
+    for _ in range(RESULT_BUFFER_SIZE):
+        tracker.begin("fp")
+    assert len(tracker) == RESULT_BUFFER_SIZE
+    with pytest.raises(ResultExpired):
+        tracker.query(first.operation_id, "fp")
+    assert tracker.discarded == 1
+
+
+def test_complete_after_eviction_is_noop():
+    tracker = AsyncTracker(buffer_size=1)
+    first = tracker.begin("fp")
+    tracker.begin("fp")
+    tracker.complete(first.operation_id, "late result")  # must not raise
+    with pytest.raises(ResultExpired):
+        tracker.query(first.operation_id, "fp")
+
+
+def test_unknown_id_expired():
+    with pytest.raises(ResultExpired):
+        AsyncTracker().query("op-00000001", "fp")

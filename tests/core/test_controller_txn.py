@@ -1,0 +1,132 @@
+"""Transactions through the controller's request interface."""
+
+import pytest
+
+from repro.core.request import Request
+from tests.core.conftest import ALICE, BOB
+
+
+def _tx(controller, fingerprint):
+    response = controller.handle(Request(method="create_tx"), fingerprint)
+    assert response.ok
+    return response.txid
+
+
+def test_transactional_read_write(controller):
+    controller.put(ALICE, "account-a", b"100")
+    controller.put(ALICE, "account-b", b"50")
+    txid = _tx(controller, ALICE)
+    controller.handle(
+        Request(method="add_read", key="account-a", txid=txid), ALICE
+    )
+    controller.handle(
+        Request(method="add_write", key="account-a", value=b"75", txid=txid),
+        ALICE,
+    )
+    controller.handle(
+        Request(method="add_write", key="account-b", value=b"75", txid=txid),
+        ALICE,
+    )
+    commit = controller.handle(Request(method="commit_tx", txid=txid), ALICE)
+    assert commit.ok
+    results = controller.handle(
+        Request(method="tx_results", txid=txid), ALICE
+    )
+    assert results.ok
+    assert b"read:account-a=100" in results.value  # read saw pre-tx value
+    assert b"write:account-a=v1" in results.value
+    assert controller.get(ALICE, "account-a").value == b"75"
+    assert controller.get(ALICE, "account-b").value == b"75"
+
+
+def test_transaction_isolated_to_session(controller):
+    txid = _tx(controller, ALICE)
+    response = controller.handle(
+        Request(method="add_read", key="x", txid=txid), BOB
+    )
+    assert response.status == 409
+
+
+def test_policy_denial_aborts_whole_transaction(controller):
+    policy_id = controller.put_policy(
+        ALICE,
+        f"read :- sessionKeyIs(k'{ALICE}')\nupdate :- sessionKeyIs(k'{ALICE}')",
+    ).policy_id
+    controller.put(ALICE, "guarded", b"v0", policy_id=policy_id)
+    controller.put(ALICE, "free", b"v0")
+    txid = _tx(controller, BOB)
+    controller.handle(
+        Request(method="add_write", key="free", value=b"bob", txid=txid), BOB
+    )
+    controller.handle(
+        Request(method="add_write", key="guarded", value=b"bob", txid=txid),
+        BOB,
+    )
+    commit = controller.handle(Request(method="commit_tx", txid=txid), BOB)
+    assert commit.status == 409
+    # Atomicity: the permitted write must not have been applied either.
+    assert controller.get(ALICE, "free").value == b"v0"
+    results = controller.handle(Request(method="tx_results", txid=txid), BOB)
+    assert results.status == 409
+
+
+def test_transactional_read_denied_aborts(controller):
+    policy_id = controller.put_policy(
+        ALICE,
+        f"read :- sessionKeyIs(k'{ALICE}')\nupdate :- sessionKeyIs(k'{ALICE}')",
+    ).policy_id
+    controller.put(ALICE, "secret", b"v", policy_id=policy_id)
+    txid = _tx(controller, BOB)
+    controller.handle(
+        Request(method="add_read", key="secret", txid=txid), BOB
+    )
+    commit = controller.handle(Request(method="commit_tx", txid=txid), BOB)
+    assert commit.status == 409
+
+
+def test_abort_discards_writes(controller):
+    controller.put(ALICE, "k", b"v0")
+    txid = _tx(controller, ALICE)
+    controller.handle(
+        Request(method="add_write", key="k", value=b"v1", txid=txid), ALICE
+    )
+    assert controller.handle(
+        Request(method="abort_tx", txid=txid), ALICE
+    ).ok
+    assert controller.get(ALICE, "k").value == b"v0"
+
+
+def test_commit_unknown_tx(controller):
+    response = controller.handle(
+        Request(method="commit_tx", txid="tx-000099"), ALICE
+    )
+    assert response.status == 409
+
+
+def test_transaction_creates_new_objects(controller):
+    txid = _tx(controller, ALICE)
+    controller.handle(
+        Request(method="add_write", key="new-obj", value=b"fresh", txid=txid),
+        ALICE,
+    )
+    assert controller.handle(
+        Request(method="commit_tx", txid=txid), ALICE
+    ).ok
+    assert controller.get(ALICE, "new-obj").value == b"fresh"
+
+
+def test_async_commit(controller):
+    controller.put(ALICE, "k", b"v0")
+    txid = _tx(controller, ALICE)
+    controller.handle(
+        Request(method="add_write", key="k", value=b"v1", txid=txid), ALICE
+    )
+    response = controller.handle(
+        Request(method="commit_tx", txid=txid, asynchronous=True), ALICE
+    )
+    assert response.status == 202
+    status = controller.handle(
+        Request(method="status", operation_id=response.operation_id), ALICE
+    )
+    assert status.ok
+    assert controller.get(ALICE, "k").value == b"v1"

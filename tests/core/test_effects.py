@@ -1,0 +1,42 @@
+"""Effects recorder semantics."""
+
+from repro.core.effects import DISK_READ, EffectsRecorder, NullRecorder
+
+
+def test_record_and_drain():
+    effects = EffectsRecorder()
+    effects.record(DISK_READ, 0, 1024)
+    effects.record("encrypt", 512)
+    events = effects.drain()
+    assert events == [(DISK_READ, 0, 1024), ("encrypt", 512)]
+    assert effects.drain() == []  # drained
+
+
+def test_totals_survive_drain():
+    effects = EffectsRecorder()
+    effects.record(DISK_READ, 0, 1)
+    effects.drain()
+    effects.record(DISK_READ, 1, 2)
+    assert effects.totals[DISK_READ] == 2
+
+
+def test_cache_hit_rate():
+    effects = EffectsRecorder()
+    effects.record_cache("policy", hit=True)
+    effects.record_cache("policy", hit=True)
+    effects.record_cache("policy", hit=False)
+    assert effects.cache_hit_rate("policy") == 2 / 3
+    assert effects.cache_hit_rate("unknown-region") == 0.0
+
+
+def test_cache_events_tagged_by_region():
+    effects = EffectsRecorder()
+    effects.record_cache("object", hit=False)
+    assert effects.drain() == [("cache_miss", "object")]
+
+
+def test_null_recorder_is_silent():
+    effects = NullRecorder()
+    effects.record("anything", 1, 2)
+    effects.record_cache("region", hit=True)
+    assert effects.drain() == []

@@ -1,0 +1,173 @@
+"""Consistent hashing and elastic drive membership."""
+
+import pytest
+
+from repro.core.hashring import ElasticStore, HashRing
+from repro.core.store import ObjectStore, StoredMeta
+from repro.errors import ConfigurationError
+from repro.kinetic.client import KineticClient
+from repro.kinetic.drive import KineticDrive
+
+
+def _ring(names=("d0", "d1", "d2")):
+    return HashRing(list(names), vnodes=64)
+
+
+def test_placement_deterministic():
+    ring = _ring()
+    assert ring.placement("key", 2) == ring.placement("key", 2)
+
+
+def test_placement_distinct_drives():
+    ring = _ring()
+    spots = ring.placement("key", 3)
+    assert len(spots) == len(set(spots)) == 3
+
+
+def test_replicas_capped_at_membership():
+    ring = _ring(("only",))
+    assert ring.placement("key", 5) == ["only"]
+
+
+def test_distribution_roughly_uniform():
+    ring = _ring(("d0", "d1", "d2", "d3"))
+    counts = {name: 0 for name in ring.drives}
+    for index in range(4000):
+        counts[ring.placement(f"key-{index}", 1)[0]] += 1
+    assert max(counts.values()) < 2.2 * min(counts.values())
+
+
+def test_adding_drive_moves_few_keys():
+    ring = _ring(("d0", "d1", "d2"))
+    before = {f"k{i}": ring.placement(f"k{i}", 1)[0] for i in range(2000)}
+    ring.add_drive("d3")
+    moved = sum(
+        1 for key, owner in before.items()
+        if ring.placement(key, 1)[0] != owner
+    )
+    # Ideal is 1/4 of keys; allow generous slack for vnode variance.
+    assert 0.10 < moved / 2000 < 0.45
+
+
+def test_removing_drive_only_moves_its_keys():
+    ring = _ring(("d0", "d1", "d2"))
+    before = {f"k{i}": ring.placement(f"k{i}", 1)[0] for i in range(1000)}
+    ring.remove_drive("d2")
+    for key, owner in before.items():
+        new_owner = ring.placement(key, 1)[0]
+        if owner != "d2":
+            assert new_owner == owner  # unaffected keys stay put
+
+
+def test_duplicate_add_rejected():
+    ring = _ring()
+    with pytest.raises(ConfigurationError):
+        ring.add_drive("d0")
+
+
+def test_remove_unknown_rejected():
+    ring = _ring()
+    with pytest.raises(ConfigurationError):
+        ring.remove_drive("ghost")
+
+
+def test_empty_ring_rejects_placement():
+    with pytest.raises(ConfigurationError):
+        HashRing([]).placement("key")
+
+
+# -- elastic store -----------------------------------------------------------
+
+def _drive_and_client(name):
+    drive = KineticDrive(name)
+    client = KineticClient(
+        drive, KineticDrive.DEMO_IDENTITY, KineticDrive.DEMO_KEY
+    )
+    return drive, client
+
+
+def _elastic(names=("d0", "d1", "d2"), replication=1):
+    drives, clients = zip(*(_drive_and_client(n) for n in names))
+    store = ObjectStore(
+        list(clients), b"s" * 32, replication_factor=replication
+    )
+    elastic = ElasticStore(store, list(names))
+    return elastic, list(drives)
+
+
+def _load(elastic, count=60):
+    for index in range(count):
+        meta = StoredMeta(key=f"obj-{index}")
+        elastic.store_version(meta, f"value-{index}".encode(), "")
+
+
+def test_elastic_write_read(elastic=None):
+    elastic, _drives = _elastic()
+    _load(elastic, 10)
+    assert elastic.read_value("obj-3", 0) == b"value-3"
+
+
+def test_all_objects_survive_drive_addition():
+    elastic, drives = _elastic()
+    _load(elastic)
+    new_drive, new_client = _drive_and_client("d3")
+    plan = elastic.add_drive("d3", new_client)
+    assert len(plan) > 0  # some keys moved
+    for index in range(60):
+        assert elastic.read_value(f"obj-{index}", 0) == f"value-{index}".encode()
+    assert new_drive.key_count > 0  # the new drive took load
+
+
+def test_addition_moves_a_minority_of_keys():
+    elastic, _drives = _elastic()
+    _load(elastic, 100)
+    _d, client = _drive_and_client("d3")
+    plan = elastic.add_drive("d3", client)
+    assert len(plan) < 55  # ~25% expected, never a majority
+
+
+def test_moved_keys_cleaned_from_old_drives():
+    elastic, drives = _elastic()
+    _load(elastic)
+    _d, client = _drive_and_client("d3")
+    plan = elastic.add_drive("d3", client)
+    from repro.core.store import ObjectStore
+
+    moved_keys = {key for key, _old, _new in plan.moves}
+    for key in moved_keys:
+        holders = [
+            drive.drive_id
+            for drive in drives
+            if ObjectStore.meta_key(key) in drive._entries
+        ]
+        assert holders == []  # old copies deleted
+
+
+def test_all_objects_survive_drive_removal():
+    elastic, drives = _elastic()
+    _load(elastic)
+    elastic.remove_drive("d1")
+    for index in range(60):
+        assert elastic.read_value(f"obj-{index}", 0) == f"value-{index}".encode()
+    assert drives[1].drive_id == "d1"
+
+
+def test_removal_with_replication():
+    elastic, _drives = _elastic(replication=2)
+    _load(elastic, 40)
+    elastic.remove_drive("d0")
+    for index in range(40):
+        assert elastic.read_value(f"obj-{index}", 0) == f"value-{index}".encode()
+
+
+def test_remove_unknown_drive_rejected():
+    elastic, _drives = _elastic()
+    with pytest.raises(ConfigurationError):
+        elastic.remove_drive("ghost")
+
+
+def test_id_client_count_mismatch_rejected():
+    _drive, client = _drive_and_client("d0")
+    store = ObjectStore([client], b"s" * 32)
+    with pytest.raises(ConfigurationError):
+        ElasticStore(store, ["d0", "d1"])

@@ -1,0 +1,125 @@
+"""Request model and HTTP framing round-trips."""
+
+import pytest
+
+from repro.core.request import (
+    Request,
+    Response,
+    build_http_request,
+    parse_http_request,
+    parse_http_response,
+    render_http_response,
+)
+from repro.errors import RequestError
+
+
+def test_validate_accepts_basic_put():
+    Request(method="put", key="k", value=b"v").validate()
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(RequestError):
+        Request(method="frobnicate").validate()
+
+
+def test_put_requires_key():
+    with pytest.raises(RequestError):
+        Request(method="put", value=b"v").validate()
+
+
+def test_async_only_for_write_methods():
+    Request(method="put", key="k", asynchronous=True).validate()
+    with pytest.raises(RequestError):
+        Request(method="get", key="k", asynchronous=True).validate()
+
+
+def test_status_requires_operation_id():
+    with pytest.raises(RequestError):
+        Request(method="status").validate()
+    Request(method="status", operation_id="op-1").validate()
+
+
+def test_put_policy_requires_source():
+    with pytest.raises(RequestError):
+        Request(method="put_policy").validate()
+
+
+def test_attest_requires_key():
+    with pytest.raises(RequestError):
+        Request(method="attest").validate()
+    Request(method="attest", key="obj").validate()
+
+
+def test_http_request_roundtrip():
+    original = Request(
+        method="put",
+        key="photos/cat.jpg",
+        value=b"binary image data",
+        policy_id="ph123",
+        version=4,
+        asynchronous=True,
+        log_key="photos/cat.jpg.log",
+    )
+    wire = build_http_request(original)
+    parsed = parse_http_request(wire)
+    assert parsed.method == "put"
+    assert parsed.key == "photos/cat.jpg"
+    assert parsed.value == b"binary image data"
+    assert parsed.policy_id == "ph123"
+    assert parsed.version == 4
+    assert parsed.asynchronous
+    assert parsed.log_key == "photos/cat.jpg.log"
+
+
+def test_http_request_minimal():
+    parsed = parse_http_request(b"POST /get/mykey HTTP/1.1\r\n\r\n")
+    assert parsed.method == "get"
+    assert parsed.key == "mykey"
+    assert parsed.version is None
+
+
+def test_http_request_rejects_get_verb():
+    with pytest.raises(RequestError):
+        parse_http_request(b"GET /get/mykey HTTP/1.1\r\n\r\n")
+
+
+def test_http_request_rejects_garbage():
+    with pytest.raises(RequestError):
+        parse_http_request(b"\xff\xfe not http")
+
+
+def test_http_request_missing_method():
+    with pytest.raises(RequestError):
+        parse_http_request(b"POST / HTTP/1.1\r\n\r\n")
+
+
+def test_http_response_roundtrip():
+    original = Response(
+        status=200,
+        value=b"object bytes",
+        version=7,
+        policy_id="ph",
+        operation_id="op-1",
+        txid="tx-1",
+    )
+    parsed = parse_http_response(render_http_response(original))
+    assert parsed.status == 200
+    assert parsed.value == b"object bytes"
+    assert parsed.version == 7
+    assert parsed.policy_id == "ph"
+    assert parsed.operation_id == "op-1"
+    assert parsed.txid == "tx-1"
+
+
+def test_http_error_response_roundtrip():
+    original = Response(status=403, error="policy denies read on x")
+    parsed = parse_http_response(render_http_response(original))
+    assert parsed.status == 403
+    assert parsed.error == "policy denies read on x"
+    assert not parsed.ok
+
+
+def test_response_ok_predicate():
+    assert Response(status=200).ok
+    assert Response(status=202).ok
+    assert not Response(status=404).ok

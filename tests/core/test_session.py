@@ -1,0 +1,91 @@
+"""Session lifecycle: create, resume, expire, evict."""
+
+import pytest
+
+from repro.core.session import SESSION_SOFT_BYTES, SessionManager
+from repro.errors import SessionError
+
+
+def test_connect_creates_session():
+    mgr = SessionManager()
+    session = mgr.connect("fp-1", now=0.0)
+    assert session.fingerprint == "fp-1"
+    assert mgr.created == 1
+    assert len(mgr) == 1
+
+
+def test_reconnect_resumes_live_session():
+    mgr = SessionManager(expiry_seconds=100)
+    first = mgr.connect("fp-1", now=0.0)
+    first.operations.append("op-1")
+    again = mgr.connect("fp-1", now=50.0)
+    assert again is first
+    assert again.operations == ["op-1"]
+    assert mgr.resumed == 1
+
+
+def test_expired_session_replaced():
+    mgr = SessionManager(expiry_seconds=100)
+    first = mgr.connect("fp-1", now=0.0)
+    later = mgr.connect("fp-1", now=500.0)
+    assert later is not first
+    assert mgr.expired == 1
+
+
+def test_lookup_requires_existing():
+    mgr = SessionManager()
+    with pytest.raises(SessionError):
+        mgr.lookup("nobody")
+
+
+def test_lookup_expired_raises():
+    mgr = SessionManager(expiry_seconds=10)
+    mgr.connect("fp-1", now=0.0)
+    with pytest.raises(SessionError):
+        mgr.lookup("fp-1", now=100.0)
+
+
+def test_empty_fingerprint_rejected():
+    with pytest.raises(SessionError):
+        SessionManager().connect("")
+
+
+def test_touch_tracks_activity():
+    mgr = SessionManager()
+    session = mgr.connect("fp-1", now=0.0)
+    session.touch(5.0)
+    session.touch(9.0)
+    assert session.last_active == 9.0
+    assert session.requests_handled == 2
+
+
+def test_nonce_refresh_changes_value():
+    mgr = SessionManager()
+    session = mgr.connect("fp-1")
+    old = session.nonce
+    assert session.refresh_nonce() != old
+
+
+def test_expire_idle_sweep():
+    mgr = SessionManager(expiry_seconds=10)
+    mgr.connect("a", now=0.0)
+    mgr.connect("b", now=8.0)
+    assert mgr.expire_idle(now=15.0) == 1
+    assert len(mgr) == 1
+
+
+def test_max_sessions_evicts_oldest():
+    mgr = SessionManager(max_sessions=2)
+    mgr.connect("a", now=0.0)
+    mgr.connect("b", now=1.0)
+    mgr.connect("c", now=2.0)
+    assert len(mgr) == 2
+    with pytest.raises(SessionError):
+        mgr.lookup("a", now=2.0)
+
+
+def test_memory_accounting():
+    mgr = SessionManager()
+    mgr.connect("a")
+    mgr.connect("b")
+    assert mgr.memory_in_use() == 2 * SESSION_SOFT_BYTES

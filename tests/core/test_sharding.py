@@ -1,0 +1,162 @@
+"""Sharded front-end: routing, policy broadcast, transaction pinning."""
+
+import pytest
+
+from repro.core.controller import PesosController
+from repro.core.request import Request
+from repro.core.sharding import ShardedPesos
+from repro.errors import ConfigurationError
+from repro.kinetic.cluster import DriveCluster
+from repro.kinetic.drive import KineticDrive
+from tests.core.conftest import ALICE, BOB
+
+
+def _controller():
+    cluster = DriveCluster(num_drives=1)
+    clients = cluster.connect_all(
+        KineticDrive.DEMO_IDENTITY, KineticDrive.DEMO_KEY
+    )
+    return PesosController(clients, storage_key=b"k" * 32)
+
+
+@pytest.fixture()
+def balancer():
+    return ShardedPesos([_controller() for _ in range(3)])
+
+
+def _keys_on_distinct_shards(balancer, count=2):
+    """Find keys mapping to `count` different shards."""
+    found = {}
+    index = 0
+    while len(found) < count:
+        key = f"key-{index}"
+        shard = balancer.shard_index(key)
+        found.setdefault(shard, key)
+        index += 1
+    return list(found.values())
+
+
+def test_needs_a_shard():
+    with pytest.raises(ConfigurationError):
+        ShardedPesos([])
+
+
+def test_routing_is_deterministic(balancer):
+    assert balancer.shard_index("k") == balancer.shard_index("k")
+
+
+def test_put_get_through_balancer(balancer):
+    put = balancer.handle(
+        Request(method="put", key="obj", value=b"v"), ALICE
+    )
+    assert put.ok
+    get = balancer.handle(Request(method="get", key="obj"), ALICE)
+    assert get.value == b"v"
+    # Only the owning shard stored it.
+    owner = balancer.shard_for("obj")
+    others = [s for s in balancer.shards if s is not owner]
+    assert owner._get_meta("obj") is not None
+    assert all(s._get_meta("obj") is None for s in others)
+
+
+def test_keys_spread_across_shards(balancer):
+    for index in range(60):
+        balancer.handle(
+            Request(method="put", key=f"k{index}", value=b"v"), ALICE
+        )
+    assert all(count > 0 for count in balancer.routed)
+
+
+def test_policy_broadcast_and_enforcement(balancer):
+    source = (
+        f"read :- sessionKeyIs(k'{ALICE}')\nupdate :- sessionKeyIs(k'{ALICE}')"
+    )
+    policy = balancer.handle(
+        Request(method="put_policy", value=source.encode()), ALICE
+    )
+    assert policy.ok
+    # The policy exists on every shard with the same id.
+    keys = _keys_on_distinct_shards(balancer, 3)
+    for key in keys:
+        assert balancer.handle(
+            Request(method="put", key=key, value=b"v",
+                    policy_id=policy.policy_id),
+            ALICE,
+        ).ok
+        denied = balancer.handle(Request(method="get", key=key), BOB)
+        assert denied.status == 403
+
+
+def test_bad_policy_broadcast_fails(balancer):
+    response = balancer.handle(
+        Request(method="put_policy", value=b"read :- ("), ALICE
+    )
+    assert response.status == 400
+
+
+def test_async_status_routed_to_owning_shard(balancer):
+    response = balancer.handle(
+        Request(method="put", key="obj", value=b"v", asynchronous=True),
+        ALICE,
+    )
+    assert response.status == 202
+    status = balancer.handle(
+        Request(method="status", operation_id=response.operation_id), ALICE
+    )
+    assert status.ok
+    assert status.version == 0
+
+
+def test_unknown_operation_id(balancer):
+    response = balancer.handle(
+        Request(method="status", operation_id="op-unknown"), ALICE
+    )
+    assert response.status == 410
+
+
+def test_single_shard_transaction_commits(balancer):
+    key_a, _key_b = _keys_on_distinct_shards(balancer)
+    txid = balancer.handle(Request(method="create_tx"), ALICE).txid
+    assert balancer.handle(
+        Request(method="add_write", key=key_a, value=b"tx-value", txid=txid),
+        ALICE,
+    ).ok
+    commit = balancer.handle(Request(method="commit_tx", txid=txid), ALICE)
+    assert commit.ok
+    assert commit.txid == txid  # public id preserved
+    assert balancer.handle(
+        Request(method="get", key=key_a), ALICE
+    ).value == b"tx-value"
+
+
+def test_cross_shard_transaction_rejected(balancer):
+    key_a, key_b = _keys_on_distinct_shards(balancer)
+    txid = balancer.handle(Request(method="create_tx"), ALICE).txid
+    balancer.handle(
+        Request(method="add_write", key=key_a, value=b"v", txid=txid), ALICE
+    )
+    rejected = balancer.handle(
+        Request(method="add_write", key=key_b, value=b"v", txid=txid), ALICE
+    )
+    assert rejected.status == 409
+    assert "cross-shard" in rejected.error
+
+
+def test_unknown_txid(balancer):
+    response = balancer.handle(
+        Request(method="add_read", key="k", txid="tx-ghost"), ALICE
+    )
+    assert response.status == 409
+
+
+def test_empty_transaction_commit(balancer):
+    txid = balancer.handle(Request(method="create_tx"), ALICE).txid
+    assert balancer.handle(
+        Request(method="commit_tx", txid=txid), ALICE
+    ).ok
+
+
+def test_total_requests(balancer):
+    balancer.handle(Request(method="put", key="k", value=b"v"), ALICE)
+    balancer.handle(Request(method="get", key="k"), ALICE)
+    assert balancer.total_requests() == 2

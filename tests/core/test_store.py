@@ -1,0 +1,174 @@
+"""Object store: layout, encryption, replication, failover."""
+
+import pytest
+
+from repro.core.store import ObjectStore, StoredMeta, placement
+from repro.errors import ConfigurationError, DriveOffline
+from repro.kinetic.cluster import DriveCluster
+from repro.kinetic.drive import KineticDrive
+
+
+def _store(num_drives=3, replication=1, **kwargs):
+    cluster = DriveCluster(num_drives=num_drives)
+    clients = cluster.connect_all(
+        KineticDrive.DEMO_IDENTITY, KineticDrive.DEMO_KEY
+    )
+    return (
+        ObjectStore(
+            clients, b"s" * 32, replication_factor=replication, **kwargs
+        ),
+        cluster,
+    )
+
+
+def test_placement_is_deterministic():
+    assert placement("key-1", 4, 2) == placement("key-1", 4, 2)
+
+
+def test_placement_replicas_are_consecutive():
+    spots = placement("some-key", 5, 3)
+    assert len(spots) == 3
+    assert spots[1] == (spots[0] + 1) % 5
+    assert spots[2] == (spots[0] + 2) % 5
+
+
+def test_placement_capped_at_drive_count():
+    assert len(placement("k", 2, 5)) == 2
+
+
+def test_placement_spreads_keys():
+    primaries = {placement(f"key-{i}", 4, 1)[0] for i in range(100)}
+    assert primaries == {0, 1, 2, 3}
+
+
+def test_meta_roundtrip():
+    meta = StoredMeta(key="obj")
+    assert not meta.exists
+    store, _ = _store()
+    store.store_version(meta, b"hello", policy_hash="ph")
+    loaded = store.read_meta("obj")
+    assert loaded.exists
+    assert loaded.current_version == 0
+    assert loaded.latest().size == 5
+    assert loaded.latest().policy_hash == "ph"
+    assert loaded.policy_id == ""
+
+
+def test_missing_meta_is_none():
+    store, _ = _store()
+    assert store.read_meta("ghost") is None
+
+
+def test_value_roundtrip_encrypted_on_disk():
+    store, cluster = _store(num_drives=1)
+    meta = StoredMeta(key="obj")
+    store.store_version(meta, b"super secret payload", "")
+    assert store.read_value("obj", 0) == b"super secret payload"
+    # The drive never sees plaintext.
+    drive = cluster.drive(0)
+    raw = drive._entries[ObjectStore.value_key("obj", 0)].value
+    assert b"super secret payload" not in raw
+
+
+def test_versions_accumulate_with_history():
+    store, _ = _store(keep_history=True)
+    meta = StoredMeta(key="obj")
+    store.store_version(meta, b"v0", "")
+    store.store_version(meta, b"v1", "")
+    store.store_version(meta, b"v2", "")
+    assert meta.current_version == 2
+    assert store.read_value("obj", 0) == b"v0"
+    assert store.read_value("obj", 2) == b"v2"
+
+
+def test_history_disabled_drops_old_versions():
+    store, cluster = _store(num_drives=1, keep_history=False)
+    meta = StoredMeta(key="obj")
+    store.store_version(meta, b"v0", "")
+    store.store_version(meta, b"v1", "")
+    assert list(meta.versions) == [1]
+    # Updates overwrite a single latest slot: one value key + one meta
+    # key on the drive, and no delete traffic.
+    assert cluster.drive(0).key_count == 2
+    assert cluster.drive(0).stats.deletes == 0
+    assert store.read_value("obj", 1) == b"v1"
+
+
+def test_replication_writes_all_replicas():
+    store, cluster = _store(num_drives=3, replication=3)
+    meta = StoredMeta(key="obj")
+    store.store_version(meta, b"data", "")
+    # meta + value on every drive.
+    for drive in cluster:
+        assert drive.key_count == 2
+
+
+def test_no_replication_writes_one_drive():
+    store, cluster = _store(num_drives=3, replication=1)
+    meta = StoredMeta(key="obj")
+    store.store_version(meta, b"data", "")
+    populated = [drive for drive in cluster if drive.key_count > 0]
+    assert len(populated) == 1
+
+
+def test_read_failover_to_replica():
+    store, cluster = _store(num_drives=3, replication=2)
+    meta = StoredMeta(key="obj")
+    store.store_version(meta, b"data", "")
+    primary = placement("obj", 3, 2)[0]
+    cluster.drive(primary).fail()
+    assert store.read_value("obj", 0) == b"data"
+    assert store.read_meta("obj").exists
+
+
+def test_read_fails_when_all_replicas_down():
+    store, cluster = _store(num_drives=3, replication=2)
+    meta = StoredMeta(key="obj")
+    store.store_version(meta, b"data", "")
+    for index in placement("obj", 3, 2):
+        cluster.drive(index).fail()
+    with pytest.raises(DriveOffline):
+        store.read_value("obj", 0)
+
+
+def test_write_survives_one_replica_down():
+    store, cluster = _store(num_drives=3, replication=2)
+    replicas = placement("obj", 3, 2)
+    cluster.drive(replicas[1]).fail()
+    meta = StoredMeta(key="obj")
+    store.store_version(meta, b"data", "")  # succeeds on remaining replica
+    assert store.read_value("obj", 0) == b"data"
+
+
+def test_write_fails_when_all_replicas_down():
+    store, cluster = _store(num_drives=3, replication=2)
+    for index in placement("obj", 3, 2):
+        cluster.drive(index).fail()
+    with pytest.raises(DriveOffline):
+        store.store_version(StoredMeta(key="obj"), b"data", "")
+
+
+def test_delete_object_removes_everything():
+    store, cluster = _store(num_drives=1)
+    meta = StoredMeta(key="obj")
+    store.store_version(meta, b"v0", "")
+    store.store_version(meta, b"v1", "")
+    store.delete_object(meta)
+    assert cluster.drive(0).key_count == 0
+
+
+def test_policy_blob_roundtrip():
+    store, _ = _store()
+    store.write_policy("abcd", b"compiled-policy-bytes")
+    assert store.read_policy("abcd") == b"compiled-policy-bytes"
+    assert store.read_policy("missing") is None
+
+
+def test_requires_clients():
+    with pytest.raises(ConfigurationError):
+        ObjectStore([], b"s" * 32)
+
+
+def test_meta_weight_positive():
+    meta = StoredMeta(key="obj")
+    assert meta.weight() > 0

@@ -1,0 +1,152 @@
+"""VLL transaction manager semantics."""
+
+import pytest
+
+from repro.core.txn import ABORTED, COMMITTED, QUEUED, Transaction, VllManager
+from repro.errors import TransactionError
+
+
+def _manager(executor=None):
+    return VllManager(executor or (lambda tx: {"ok": True}))
+
+
+def test_create_and_get():
+    mgr = _manager()
+    tx = mgr.create("fp")
+    assert mgr.get(tx.txid, "fp") is tx
+
+
+def test_get_enforces_ownership():
+    mgr = _manager()
+    tx = mgr.create("fp")
+    with pytest.raises(TransactionError):
+        mgr.get(tx.txid, "other")
+
+
+def test_unknown_txid():
+    with pytest.raises(TransactionError):
+        _manager().get("tx-999999", "fp")
+
+
+def test_uncontended_commit_executes_immediately():
+    seen = []
+    mgr = _manager(lambda tx: seen.append(tx.txid) or {"done": 1})
+    tx = mgr.create("fp")
+    tx.add_read("a")
+    tx.add_write("b", b"v")
+    mgr.commit(tx)
+    assert tx.state == COMMITTED
+    assert seen == [tx.txid]
+    assert mgr.executed_immediately == 1
+    assert mgr.locked_keys() == set()
+
+
+def test_keys_deduplicated_and_ordered():
+    tx = Transaction(txid="t", fingerprint="fp")
+    tx.add_read("a")
+    tx.add_read("a")
+    tx.add_write("a", b"v")
+    tx.add_write("b", b"v")
+    assert tx.keys() == ["a", "b"]
+
+
+def test_ops_rejected_after_commit():
+    mgr = _manager()
+    tx = mgr.create("fp")
+    mgr.commit(tx)
+    with pytest.raises(TransactionError):
+        tx.add_read("x")
+    with pytest.raises(TransactionError):
+        mgr.commit(tx)
+
+
+def test_abort_open_transaction():
+    mgr = _manager()
+    tx = mgr.create("fp")
+    tx.add_write("a", b"v")
+    mgr.abort(tx)
+    assert tx.state == ABORTED
+    assert mgr.locked_keys() == set()
+
+
+def test_abort_committed_rejected():
+    mgr = _manager()
+    tx = mgr.create("fp")
+    mgr.commit(tx)
+    with pytest.raises(TransactionError):
+        mgr.abort(tx)
+
+
+def test_executor_abort_rolls_back():
+    def failing(tx):
+        raise TransactionError("policy denied inside txn")
+
+    mgr = _manager(failing)
+    tx = mgr.create("fp")
+    tx.add_write("a", b"v")
+    mgr.commit(tx)
+    assert tx.state == ABORTED
+    assert "policy denied" in tx.error
+    assert mgr.locked_keys() == set()
+    assert mgr.aborted == 1
+
+
+def test_contended_commit_queues_then_runs():
+    """While tx A executes, B commits on overlapping keys and queues."""
+    mgr_holder = {}
+    order = []
+
+    def executor(tx):
+        order.append(tx.txid)
+        if tx.txid == "tx-000001":
+            # Re-entrant commit while A holds the lock on "shared".
+            b = mgr_holder["mgr"].get("tx-000002", "fp")
+            mgr_holder["mgr"].commit(b)
+            assert b.state == QUEUED  # blocked on A's lock
+        return {"ok": tx.txid}
+
+    mgr = VllManager(executor)
+    mgr_holder["mgr"] = mgr
+    a = mgr.create("fp")
+    a.add_write("shared", b"va")
+    b = mgr.create("fp")
+    b.add_write("shared", b"vb")
+    mgr.commit(a)
+    assert a.state == COMMITTED
+    assert b.state == COMMITTED  # drained from the queue after A
+    assert order == [a.txid, b.txid]
+    assert mgr.executed_from_queue == 1
+    assert mgr.locked_keys() == set()
+
+
+def test_queued_transaction_can_abort():
+    def executor(tx):
+        if tx.txid == "tx-000001":
+            mgr2 = holder["mgr"]
+            queued = mgr2.get("tx-000002", "fp")
+            mgr2.commit(queued)
+            mgr2.abort(queued)
+        return {}
+
+    holder = {}
+    mgr = VllManager(executor)
+    holder["mgr"] = mgr
+    a = mgr.create("fp")
+    a.add_write("k", b"v")
+    b = mgr.create("fp")
+    b.add_write("k", b"v")
+    mgr.commit(a)
+    assert b.state == ABORTED
+    assert mgr.locked_keys() == set()
+
+
+def test_disjoint_transactions_do_not_queue():
+    mgr = _manager()
+    a = mgr.create("fp")
+    a.add_write("x", b"v")
+    b = mgr.create("fp")
+    b.add_write("y", b"v")
+    mgr.commit(a)
+    mgr.commit(b)
+    assert mgr.executed_immediately == 2
+    assert mgr.executed_from_queue == 0

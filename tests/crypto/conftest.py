@@ -1,0 +1,38 @@
+"""Shared fixtures: RSA keygen is slow in pure Python, so reuse keys."""
+
+import pytest
+
+from repro.crypto.certs import CertificateAuthority, TrustStore
+from repro.crypto.rsa import generate_keypair
+
+
+@pytest.fixture(scope="session")
+def rsa_key():
+    return generate_keypair(bits=512)
+
+
+@pytest.fixture(scope="session")
+def other_rsa_key():
+    return generate_keypair(bits=512)
+
+
+@pytest.fixture(scope="session")
+def root_ca():
+    return CertificateAuthority("test-root", key_bits=512)
+
+
+@pytest.fixture(scope="session")
+def trust_store(root_ca):
+    store = TrustStore()
+    store.add(root_ca)
+    return store
+
+
+@pytest.fixture(scope="session")
+def alice(root_ca):
+    return root_ca.issue_keypair("alice", key_bits=512)
+
+
+@pytest.fixture(scope="session")
+def bob(root_ca):
+    return root_ca.issue_keypair("bob", key_bits=512)

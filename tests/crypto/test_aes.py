@@ -1,0 +1,74 @@
+"""AES against the FIPS-197 appendix C vectors plus properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES
+from repro.errors import CryptoError
+
+_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+
+def test_fips197_aes128():
+    key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+    expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+    assert AES(key).encrypt_block(_PLAINTEXT) == expected
+
+
+def test_fips197_aes192():
+    key = bytes.fromhex("000102030405060708090a0b0c0d0e0f1011121314151617")
+    expected = bytes.fromhex("dda97ca4864cdfe06eaf70a0ec0d7191")
+    assert AES(key).encrypt_block(_PLAINTEXT) == expected
+
+
+def test_fips197_aes256():
+    key = bytes.fromhex(
+        "000102030405060708090a0b0c0d0e0f"
+        "101112131415161718191a1b1c1d1e1f"
+    )
+    expected = bytes.fromhex("8ea2b7ca516745bfeafc49904b496089")
+    assert AES(key).encrypt_block(_PLAINTEXT) == expected
+
+
+def test_decrypt_inverts_encrypt_fips_vector():
+    key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+    cipher = AES(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(_PLAINTEXT)) == _PLAINTEXT
+
+
+def test_bad_key_length_rejected():
+    with pytest.raises(CryptoError):
+        AES(b"short")
+
+
+def test_bad_block_length_rejected():
+    cipher = AES(bytes(16))
+    with pytest.raises(CryptoError):
+        cipher.encrypt_block(b"tiny")
+    with pytest.raises(CryptoError):
+        cipher.decrypt_block(b"tiny")
+
+
+def test_different_keys_different_ciphertexts():
+    a = AES(bytes(16)).encrypt_block(_PLAINTEXT)
+    b = AES(bytes([1] * 16)).encrypt_block(_PLAINTEXT)
+    assert a != b
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    key=st.binary(min_size=16, max_size=16),
+    block=st.binary(min_size=16, max_size=16),
+)
+def test_roundtrip_property(key, block):
+    cipher = AES(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+@settings(max_examples=10, deadline=None)
+@given(key=st.binary(min_size=32, max_size=32),
+       block=st.binary(min_size=16, max_size=16))
+def test_roundtrip_property_256(key, block):
+    cipher = AES(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block

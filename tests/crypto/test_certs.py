@@ -1,0 +1,114 @@
+"""Certificates: issuance, chains, expiry, claims, serialization."""
+
+import pytest
+
+from repro.crypto.certs import (
+    Certificate,
+    CertificateAuthority,
+    TrustStore,
+    random_serial,
+)
+from repro.errors import CertificateError
+
+
+def test_issue_and_verify(root_ca, alice):
+    root_ca.verify_chain(alice.certificate, now=100.0)
+
+
+def test_self_signed_root_verifies(root_ca):
+    root_ca.verify_chain(root_ca.certificate, now=100.0)
+
+
+def test_expired_certificate_rejected(root_ca):
+    kp = root_ca.issue_keypair("shortlived", key_bits=512)
+    expired = root_ca.issue_certificate(
+        "shortlived", kp.public_key, not_before=0.0, lifetime=10.0
+    )
+    root_ca.verify_chain(expired, now=5.0)
+    with pytest.raises(CertificateError):
+        root_ca.verify_chain(expired, now=11.0)
+
+
+def test_not_yet_valid_rejected(root_ca, alice):
+    cert = root_ca.issue_certificate(
+        "future", alice.public_key, not_before=1000.0, lifetime=10.0
+    )
+    with pytest.raises(CertificateError):
+        root_ca.verify_chain(cert, now=0.0)
+
+
+def test_unknown_issuer_rejected(root_ca, alice):
+    imposter = CertificateAuthority("imposter", key_bits=512)
+    cert = imposter.issue_certificate("mallory", alice.public_key)
+    with pytest.raises(CertificateError):
+        root_ca.verify_chain(cert, now=0.0)
+
+
+def test_forged_signature_rejected(root_ca, alice):
+    from dataclasses import replace
+
+    forged = replace(alice.certificate, subject="mallory")
+    with pytest.raises(CertificateError):
+        root_ca.verify_chain(forged, now=0.0)
+
+
+def test_intermediate_ca_chain(root_ca):
+    intermediate = CertificateAuthority(
+        "intermediate", key_bits=512, parent=root_ca
+    )
+    leaf = intermediate.issue_keypair("leaf", key_bits=512)
+    intermediate.verify_chain(leaf.certificate, now=0.0)
+    # The leaf issuer is "intermediate"; walking up from intermediate works.
+    assert leaf.certificate.issuer == "intermediate"
+
+
+def test_claims_lookup(root_ca):
+    kp = root_ca.issue_keypair(
+        "timeserver", claims=(("ts", ("timeserver",)),), key_bits=512
+    )
+    assert kp.certificate.claim_args("ts") == ("timeserver",)
+    assert kp.certificate.claim_args("absent") is None
+
+
+def test_dict_roundtrip(alice):
+    data = alice.certificate.to_dict()
+    restored = Certificate.from_dict(data)
+    assert restored == alice.certificate
+
+
+def test_tbs_excludes_signature(alice):
+    from dataclasses import replace
+
+    other = replace(alice.certificate, signature=b"different")
+    assert other.tbs_bytes() == alice.certificate.tbs_bytes()
+
+
+def test_fingerprint_matches_key(alice):
+    assert alice.certificate.fingerprint() == alice.public_key.fingerprint()
+
+
+def test_trust_store_multiple_roots(root_ca, alice):
+    other_root = CertificateAuthority("other-root", key_bits=512)
+    store = TrustStore()
+    store.add(other_root)
+    store.add(root_ca)
+    store.verify(alice.certificate, now=0.0)
+
+
+def test_trust_store_rejects_stranger(alice):
+    stranger_root = CertificateAuthority("stranger", key_bits=512)
+    store = TrustStore()
+    store.add(stranger_root)
+    with pytest.raises(CertificateError):
+        store.verify(alice.certificate, now=0.0)
+
+
+def test_serials_increment(root_ca):
+    a = root_ca.issue_keypair("s1", key_bits=512)
+    b = root_ca.issue_keypair("s2", key_bits=512)
+    assert b.certificate.serial > a.certificate.serial
+
+
+def test_random_serial_is_positive():
+    assert random_serial() >= 0
+    assert random_serial().bit_length() <= 63

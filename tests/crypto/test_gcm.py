@@ -1,0 +1,122 @@
+"""AES-GCM against the original spec test vectors plus tamper checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.gcm import AesGcm, GcmTagError
+from repro.errors import CryptoError
+
+
+def test_gcm_spec_case1_empty():
+    gcm = AesGcm(bytes(16))
+    ciphertext, tag = gcm.encrypt(bytes(12), b"")
+    assert ciphertext == b""
+    assert tag == bytes.fromhex("58e2fccefa7e3061367f1d57a4e7455a")
+
+
+def test_gcm_spec_case2_single_block():
+    gcm = AesGcm(bytes(16))
+    ciphertext, tag = gcm.encrypt(bytes(12), bytes(16))
+    assert ciphertext == bytes.fromhex("0388dace60b6a392f328c2b971b2fe78")
+    assert tag == bytes.fromhex("ab6e47d42cec13bdf53a67b21257bddf")
+
+
+_TC3_KEY = bytes.fromhex("feffe9928665731c6d6a8f9467308308")
+_TC3_IV = bytes.fromhex("cafebabefacedbaddecaf888")
+_TC3_PT = bytes.fromhex(
+    "d9313225f88406e5a55909c5aff5269a"
+    "86a7a9531534f7da2e4c303d8a318a72"
+    "1c3c0c95956809532fcf0e2449a6b525"
+    "b16aedf5aa0de657ba637b391aafd255"
+)
+_TC3_CT = bytes.fromhex(
+    "42831ec2217774244b7221b784d0d49c"
+    "e3aa212f2c02a4e035c17e2329aca12e"
+    "21d514b25466931c7d8f6a5aac84aa05"
+    "1ba30b396a0aac973d58e091473f5985"
+)
+
+
+def test_gcm_spec_case3_four_blocks():
+    gcm = AesGcm(_TC3_KEY)
+    ciphertext, tag = gcm.encrypt(_TC3_IV, _TC3_PT)
+    assert ciphertext == _TC3_CT
+    assert tag == bytes.fromhex("4d5c2af327cd64a62cf35abd2ba6fab4")
+
+
+def test_gcm_spec_case4_with_aad():
+    gcm = AesGcm(_TC3_KEY)
+    aad = bytes.fromhex("feedfacedeadbeeffeedfacedeadbeefabaddad2")
+    ciphertext, tag = gcm.encrypt(_TC3_IV, _TC3_PT[:60], aad)
+    assert ciphertext == _TC3_CT[:60]
+    assert tag == bytes.fromhex("5bc94fbc3221a5db94fae95ae7121a47")
+
+
+def test_decrypt_roundtrip():
+    gcm = AesGcm(b"k" * 16)
+    ct, tag = gcm.encrypt(b"n" * 12, b"the object payload", b"metadata")
+    assert gcm.decrypt(b"n" * 12, ct, tag, b"metadata") == b"the object payload"
+
+
+def test_tampered_ciphertext_rejected():
+    gcm = AesGcm(b"k" * 16)
+    ct, tag = gcm.encrypt(b"n" * 12, b"payload")
+    bad = bytes([ct[0] ^ 1]) + ct[1:]
+    with pytest.raises(GcmTagError):
+        gcm.decrypt(b"n" * 12, bad, tag)
+
+
+def test_tampered_tag_rejected():
+    gcm = AesGcm(b"k" * 16)
+    ct, tag = gcm.encrypt(b"n" * 12, b"payload")
+    bad_tag = bytes([tag[0] ^ 1]) + tag[1:]
+    with pytest.raises(GcmTagError):
+        gcm.decrypt(b"n" * 12, ct, bad_tag)
+
+
+def test_wrong_aad_rejected():
+    gcm = AesGcm(b"k" * 16)
+    ct, tag = gcm.encrypt(b"n" * 12, b"payload", b"right")
+    with pytest.raises(GcmTagError):
+        gcm.decrypt(b"n" * 12, ct, tag, b"wrong")
+
+
+def test_wrong_nonce_rejected():
+    gcm = AesGcm(b"k" * 16)
+    ct, tag = gcm.encrypt(b"n" * 12, b"payload")
+    with pytest.raises(GcmTagError):
+        gcm.decrypt(b"m" * 12, ct, tag)
+
+
+def test_bad_nonce_length_rejected():
+    gcm = AesGcm(b"k" * 16)
+    with pytest.raises(CryptoError):
+        gcm.encrypt(b"short", b"payload")
+
+
+def test_seal_open_roundtrip():
+    gcm = AesGcm(b"k" * 16)
+    blob = gcm.seal(b"n" * 12, b"object data", b"aad")
+    assert len(blob) == len(b"object data") + AesGcm.TAG_SIZE
+    assert gcm.open(b"n" * 12, blob, b"aad") == b"object data"
+
+
+def test_open_short_blob_rejected():
+    gcm = AesGcm(b"k" * 16)
+    with pytest.raises(GcmTagError):
+        gcm.open(b"n" * 12, b"tiny")
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    key=st.binary(min_size=16, max_size=16),
+    nonce=st.binary(min_size=12, max_size=12),
+    plaintext=st.binary(max_size=100),
+    aad=st.binary(max_size=32),
+)
+def test_roundtrip_property(key, nonce, plaintext, aad):
+    gcm = AesGcm(key)
+    ct, tag = gcm.encrypt(nonce, plaintext, aad)
+    assert len(ct) == len(plaintext)
+    assert gcm.decrypt(nonce, ct, tag, aad) == plaintext

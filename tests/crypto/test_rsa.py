@@ -1,0 +1,93 @@
+"""RSA keygen and PKCS#1 v1.5 signature behaviour."""
+
+import pytest
+
+from repro.crypto.rsa import (
+    RsaPublicKey,
+    _is_probable_prime,
+    generate_keypair,
+    verify_or_raise,
+)
+from repro.errors import CryptoError, IntegrityError
+
+
+def test_sign_verify_roundtrip(rsa_key):
+    sig = rsa_key.sign(b"hello pesos")
+    assert rsa_key.public_key.verify(b"hello pesos", sig)
+
+
+def test_tampered_message_rejected(rsa_key):
+    sig = rsa_key.sign(b"hello")
+    assert not rsa_key.public_key.verify(b"hellO", sig)
+
+
+def test_tampered_signature_rejected(rsa_key):
+    sig = bytearray(rsa_key.sign(b"hello"))
+    sig[0] ^= 1
+    assert not rsa_key.public_key.verify(b"hello", bytes(sig))
+
+
+def test_wrong_key_rejected(rsa_key, other_rsa_key):
+    sig = rsa_key.sign(b"hello")
+    assert not other_rsa_key.public_key.verify(b"hello", sig)
+
+
+def test_wrong_length_signature_rejected(rsa_key):
+    assert not rsa_key.public_key.verify(b"hello", b"short")
+
+
+def test_signature_value_at_modulus_rejected(rsa_key):
+    bogus = rsa_key.n.to_bytes(rsa_key.size_bytes, "big")
+    assert not rsa_key.public_key.verify(b"hello", bogus)
+
+
+def test_verify_or_raise(rsa_key):
+    sig = rsa_key.sign(b"data")
+    verify_or_raise(rsa_key.public_key, b"data", sig)
+    with pytest.raises(IntegrityError):
+        verify_or_raise(rsa_key.public_key, b"other", sig)
+
+
+def test_fingerprint_is_stable_and_distinct(rsa_key, other_rsa_key):
+    fp1 = rsa_key.public_key.fingerprint()
+    assert fp1 == rsa_key.public_key.fingerprint()
+    assert fp1 != other_rsa_key.public_key.fingerprint()
+    assert len(fp1) == 32
+
+
+def test_public_key_dict_roundtrip(rsa_key):
+    data = rsa_key.public_key.to_dict()
+    assert RsaPublicKey.from_dict(data) == rsa_key.public_key
+
+
+def test_keypair_structure(rsa_key):
+    assert rsa_key.p * rsa_key.q == rsa_key.n
+    assert rsa_key.p != rsa_key.q
+    phi = (rsa_key.p - 1) * (rsa_key.q - 1)
+    assert (rsa_key.d * rsa_key.e) % phi == 1
+
+
+def test_key_too_small_rejected():
+    with pytest.raises(CryptoError):
+        generate_keypair(bits=256)
+
+
+def test_empty_message_signs(rsa_key):
+    sig = rsa_key.sign(b"")
+    assert rsa_key.public_key.verify(b"", sig)
+
+
+def test_large_message_signs(rsa_key):
+    message = b"x" * 100_000
+    sig = rsa_key.sign(message)
+    assert rsa_key.public_key.verify(message, sig)
+
+
+@pytest.mark.parametrize("n", [2, 3, 5, 7, 97, 7919])
+def test_prime_detection_primes(n):
+    assert _is_probable_prime(n)
+
+
+@pytest.mark.parametrize("n", [0, 1, 4, 9, 100, 561, 7917])
+def test_prime_detection_composites(n):
+    assert not _is_probable_prime(n)

@@ -1,0 +1,129 @@
+"""Kinetic batch operations: atomic multi-op commits."""
+
+import pytest
+
+from repro.errors import KineticError, KineticVersionMismatch
+from repro.kinetic.client import KineticClient
+from repro.kinetic.drive import KineticDrive
+
+
+@pytest.fixture()
+def client():
+    return KineticClient(
+        KineticDrive("d0", capacity_bytes=1 << 16),
+        KineticDrive.DEMO_IDENTITY,
+        KineticDrive.DEMO_KEY,
+    )
+
+
+def test_batch_commit_applies_all(client):
+    batch = client.start_batch()
+    client.put(b"a", b"1", batch=batch)
+    client.put(b"b", b"2", batch=batch)
+    # Nothing visible before commit.
+    from repro.errors import KineticNotFound
+
+    with pytest.raises(KineticNotFound):
+        client.get(b"a")
+    assert client.end_batch(batch) == 2
+    assert client.get(b"a")[0] == b"1"
+    assert client.get(b"b")[0] == b"2"
+
+
+def test_batch_abort_discards(client):
+    batch = client.start_batch()
+    client.put(b"a", b"1", batch=batch)
+    client.abort_batch(batch)
+    from repro.errors import KineticNotFound
+
+    with pytest.raises(KineticNotFound):
+        client.get(b"a")
+    with pytest.raises(KineticError):
+        client.end_batch(batch)  # already gone
+
+
+def test_batch_version_conflict_aborts_everything(client):
+    version = client.put(b"guarded", b"v0")
+    batch = client.start_batch()
+    client.put(b"other", b"new", batch=batch)
+    client.put(b"guarded", b"v1", db_version=b"stale", batch=batch)
+    with pytest.raises(KineticVersionMismatch):
+        client.end_batch(batch)
+    # Atomicity: the first op was not applied either.
+    from repro.errors import KineticNotFound
+
+    with pytest.raises(KineticNotFound):
+        client.get(b"other")
+    assert client.get(b"guarded")[0] == b"v0"
+    assert client.get_version(b"guarded") == version
+
+
+def test_batch_correct_versions_commit(client):
+    version = client.put(b"k", b"v0")
+    batch = client.start_batch()
+    client.put(b"k", b"v1", db_version=version, batch=batch)
+    client.put(b"k2", b"x", batch=batch)
+    assert client.end_batch(batch) == 2
+    assert client.get(b"k")[0] == b"v1"
+
+
+def test_batch_delete_and_put(client):
+    version = client.put(b"old", b"v")
+    batch = client.start_batch()
+    client.delete(b"old", db_version=version, batch=batch)
+    client.put(b"new", b"v", batch=batch)
+    assert client.end_batch(batch) == 2
+    from repro.errors import KineticNotFound
+
+    with pytest.raises(KineticNotFound):
+        client.get(b"old")
+    assert client.get(b"new")[0] == b"v"
+
+
+def test_batch_delete_missing_aborts(client):
+    client.put(b"present", b"v")
+    batch = client.start_batch()
+    client.put(b"present", b"v2", force=True, batch=batch)
+    client.delete(b"ghost", batch=batch)
+    with pytest.raises(KineticError):
+        client.end_batch(batch)
+    assert client.get(b"present")[0] == b"v"  # untouched
+
+
+def test_batch_put_then_delete_same_key(client):
+    batch = client.start_batch()
+    client.put(b"temp", b"v", batch=batch)
+    client.delete(b"temp", force=True, batch=batch)
+    assert client.end_batch(batch) == 2
+    from repro.errors import KineticNotFound
+
+    with pytest.raises(KineticNotFound):
+        client.get(b"temp")
+
+
+def test_batch_over_capacity_aborts(client):
+    batch = client.start_batch()
+    client.put(b"big1", b"x" * 40_000, batch=batch)
+    client.put(b"big2", b"x" * 40_000, batch=batch)
+    with pytest.raises(KineticError, match="NO_SPACE|full"):
+        client.end_batch(batch)
+    assert client.drive.key_count == 0
+
+
+def test_op_with_unknown_batch_rejected(client):
+    with pytest.raises(KineticError, match="no open batch"):
+        client.put(b"k", b"v", batch=999)
+
+
+def test_independent_batches(client):
+    batch_a = client.start_batch()
+    batch_b = client.start_batch()
+    client.put(b"a", b"1", batch=batch_a)
+    client.put(b"b", b"2", batch=batch_b)
+    client.abort_batch(batch_a)
+    assert client.end_batch(batch_b) == 1
+    from repro.errors import KineticNotFound
+
+    with pytest.raises(KineticNotFound):
+        client.get(b"a")
+    assert client.get(b"b")[0] == b"2"

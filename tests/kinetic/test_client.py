@@ -1,0 +1,187 @@
+"""Client library: sync API, errors, async pipeline, certificates."""
+
+import pytest
+
+from repro.crypto.certs import CertificateAuthority, TrustStore
+from repro.errors import (
+    CertificateError,
+    KineticAuthError,
+    KineticError,
+    KineticNotFound,
+    KineticVersionMismatch,
+)
+from repro.kinetic.client import KineticClient
+from repro.kinetic.drive import KineticDrive, Role
+from repro.kinetic.protocol import MessageType, StatusCode
+
+
+@pytest.fixture()
+def drive():
+    return KineticDrive("disk-0")
+
+
+@pytest.fixture()
+def client(drive):
+    return KineticClient(drive, identity="demo", hmac_key=KineticDrive.DEMO_KEY)
+
+
+def test_put_get_roundtrip(client):
+    version = client.put(b"k", b"value")
+    value, db_version = client.get(b"k")
+    assert value == b"value"
+    assert db_version == version
+
+
+def test_get_missing_raises(client):
+    with pytest.raises(KineticNotFound):
+        client.get(b"missing")
+
+
+def test_version_conflict_raises(client):
+    version = client.put(b"k", b"v1")
+    client.put(b"k", b"v2", db_version=version)
+    with pytest.raises(KineticVersionMismatch):
+        client.put(b"k", b"v3", db_version=version)
+
+
+def test_get_version(client):
+    version = client.put(b"k", b"v")
+    assert client.get_version(b"k") == version
+
+
+def test_delete(client):
+    version = client.put(b"k", b"v")
+    client.delete(b"k", db_version=version)
+    with pytest.raises(KineticNotFound):
+        client.get(b"k")
+
+
+def test_force_delete(client):
+    client.put(b"k", b"v")
+    client.delete(b"k", force=True)
+
+
+def test_key_range(client):
+    for key in (b"b", b"a", b"c"):
+        client.put(key, b"v")
+    assert client.get_key_range(b"a", b"c") == [b"a", b"b", b"c"]
+
+
+def test_get_next_previous(client):
+    for key in (b"a", b"c"):
+        client.put(key, key)
+    key, value, _ = client.get_next(b"a")
+    assert (key, value) == (b"c", b"c")
+    key, value, _ = client.get_previous(b"c")
+    assert (key, value) == (b"a", b"a")
+
+
+def test_wrong_key_raises_auth_error(drive):
+    bad_client = KineticClient(drive, identity="demo", hmac_key=b"wrong")
+    with pytest.raises(KineticAuthError):
+        bad_client.get(b"k")
+
+
+def test_set_security_then_old_identity_locked_out(drive, client):
+    client.set_security([("pesos", b"new-admin-key", Role.all())])
+    with pytest.raises(KineticAuthError):
+        client.noop()  # demo identity is gone
+    admin = KineticClient(drive, identity="pesos", hmac_key=b"new-admin-key")
+    admin.noop()
+
+
+def test_setup_and_getlog(client):
+    client.put(b"k", b"v")
+    client.setup(cluster_version=5, erase=True)
+    log = client.get_log()
+    assert log["key_count"] == 0
+    assert client.drive.cluster_version == 5
+
+
+def test_p2p_push(drive):
+    peer = KineticDrive("disk-1")
+    drive.register_peer(peer)
+    client = KineticClient(drive, "demo", KineticDrive.DEMO_KEY)
+    client.put(b"k", b"v")
+    assert client.p2p_push("disk-1", [b"k"]) == 1
+    peer_client = KineticClient(peer, "demo", KineticDrive.DEMO_KEY)
+    assert peer_client.get(b"k")[0] == b"v"
+
+
+def test_flush_and_noop(client):
+    client.flush()
+    client.noop()
+
+
+def test_certificate_verified_on_connect():
+    ca = CertificateAuthority("vendor", key_bits=512)
+    drive = KineticDrive("d", identity_ca=ca)
+    trust = TrustStore()
+    trust.add(ca)
+    KineticClient(drive, "demo", KineticDrive.DEMO_KEY, trust_store=trust)
+
+
+def test_replaced_drive_detected():
+    ca = CertificateAuthority("vendor", key_bits=512)
+    rogue_ca = CertificateAuthority("attacker", key_bits=512)
+    replaced = KineticDrive("d", identity_ca=rogue_ca)
+    trust = TrustStore()
+    trust.add(ca)
+    with pytest.raises(CertificateError):
+        KineticClient(replaced, "demo", KineticDrive.DEMO_KEY, trust_store=trust)
+
+
+def test_uncertified_drive_rejected_when_trust_required(drive):
+    trust = TrustStore()
+    trust.add(CertificateAuthority("vendor", key_bits=512))
+    with pytest.raises(CertificateError):
+        KineticClient(drive, "demo", KineticDrive.DEMO_KEY, trust_store=trust)
+
+
+def test_async_pipeline_completion_order(client):
+    results = []
+    client.submit(
+        MessageType.PUT,
+        {"key": b"k1", "value": b"v1", "db_version": b""},
+        callback=lambda r: results.append(("put", r.status)),
+    )
+    client.submit(
+        MessageType.GET,
+        {"key": b"k1"},
+        callback=lambda r: results.append(("get", r.status)),
+    )
+    assert client.pending_count == 2
+    assert client.drain() == 2
+    assert results == [
+        ("put", StatusCode.SUCCESS),
+        ("get", StatusCode.SUCCESS),
+    ]
+    assert client.pending_count == 0
+
+
+def test_async_pipeline_window_bound(drive):
+    client = KineticClient(drive, "demo", KineticDrive.DEMO_KEY, max_pending=2)
+    client.submit(MessageType.NOOP, {})
+    client.submit(MessageType.NOOP, {})
+    with pytest.raises(KineticError, match="window full"):
+        client.submit(MessageType.NOOP, {})
+
+
+def test_async_pipeline_partial_drain(client):
+    for _ in range(3):
+        client.submit(MessageType.NOOP, {})
+    assert client.drain(max_responses=2) == 2
+    assert client.pending_count == 1
+
+
+def test_async_failure_recorded_not_raised(client):
+    pending = client.submit(MessageType.GET, {"key": b"missing"})
+    client.drain()
+    assert pending.done
+    assert pending.response.status == StatusCode.NOT_FOUND
+
+
+def test_wire_accounting(client):
+    client.put(b"k", b"v")
+    assert client.requests_sent == 1
+    assert client.bytes_on_wire > 0

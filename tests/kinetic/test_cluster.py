@@ -1,0 +1,59 @@
+"""Drive cluster wiring and connect-all semantics."""
+
+import pytest
+
+from repro.crypto.certs import CertificateAuthority
+from repro.errors import ConfigurationError, DriveOffline
+from repro.kinetic.cluster import DriveCluster
+from repro.kinetic.drive import KineticDrive
+
+
+def test_cluster_creates_named_drives():
+    cluster = DriveCluster(num_drives=3)
+    assert len(cluster) == 3
+    assert [d.drive_id for d in cluster] == ["disk-0", "disk-1", "disk-2"]
+
+
+def test_cluster_needs_a_drive():
+    with pytest.raises(ConfigurationError):
+        DriveCluster(num_drives=0)
+
+
+def test_peers_wired_for_p2p():
+    cluster = DriveCluster(num_drives=2)
+    assert "disk-1" in cluster.drive(0)._peers
+    assert "disk-0" in cluster.drive(1)._peers
+
+
+def test_connect_all_returns_client_per_drive():
+    cluster = DriveCluster(num_drives=2)
+    clients = cluster.connect_all("demo", KineticDrive.DEMO_KEY)
+    assert len(clients) == 2
+    clients[0].put(b"k", b"v")
+    assert clients[0].get(b"k")[0] == b"v"
+
+
+def test_connect_all_fails_on_offline_drive():
+    cluster = DriveCluster(num_drives=2)
+    cluster.drive(1).fail()
+    with pytest.raises(DriveOffline):
+        cluster.connect_all("demo", KineticDrive.DEMO_KEY)
+
+
+def test_online_drives_filter():
+    cluster = DriveCluster(num_drives=3)
+    cluster.drive(0).fail()
+    assert len(cluster.online_drives()) == 2
+
+
+def test_certified_cluster_verifies_on_connect():
+    ca = CertificateAuthority("vendor", key_bits=512)
+    cluster = DriveCluster(num_drives=2, identity_ca=ca)
+    clients = cluster.connect_all("demo", KineticDrive.DEMO_KEY)
+    assert len(clients) == 2
+    assert cluster.trust_store() is not None
+
+
+def test_uncertified_cluster_has_no_trust_store():
+    cluster = DriveCluster(num_drives=1)
+    assert cluster.trust_store() is None

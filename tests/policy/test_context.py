@@ -1,0 +1,122 @@
+"""EvalContext helpers: content tuples, version views, claims."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policy.ast import (
+    HashValue,
+    IntValue,
+    PubKeyValue,
+    StrValue,
+    TupleValue,
+)
+from repro.policy.context import (
+    EvalContext,
+    ObjectView,
+    VersionInfo,
+    claim_to_tuple,
+    content_hash,
+    parse_content_tuples,
+)
+
+
+def test_parse_single_tuple():
+    tuples = parse_content_tuples(b"'read'('obj1', 3, k'fp')")
+    assert tuples == [
+        TupleValue(
+            "read", (StrValue("obj1"), IntValue(3), PubKeyValue("fp"))
+        )
+    ]
+
+
+def test_parse_multiple_lines():
+    content = b"'a'(1)\n'b'(2)\n"
+    tuples = parse_content_tuples(content)
+    assert [t.name for t in tuples] == ["a", "b"]
+
+
+def test_parse_ignores_non_tuple_lines():
+    content = b"just some payload\n'entry'(1)\n{binary-ish}"
+    tuples = parse_content_tuples(content)
+    assert len(tuples) == 1
+
+
+def test_parse_binary_content_says_nothing():
+    assert parse_content_tuples(bytes([0xFF, 0xFE, 0x00])) == []
+
+
+def test_parse_nested_tuples():
+    tuples = parse_content_tuples(b"'outer'(inner(1), h'ab')")
+    assert tuples[0].args[0] == TupleValue("inner", (IntValue(1),))
+    assert tuples[0].args[1] == HashValue("ab")
+
+
+def test_parse_bare_name_tuple():
+    assert parse_content_tuples(b"write(1)")[0].name == "write"
+
+
+def test_render_roundtrip():
+    original = TupleValue(
+        "write",
+        (StrValue("o"), IntValue(3), HashValue("aa"), PubKeyValue("bb")),
+    )
+    line = original.render()
+    assert parse_content_tuples(line.encode()) == [original]
+
+
+def test_version_info_from_content():
+    info = VersionInfo.from_content(b"'fact'(42)", policy_hash="ph")
+    assert info.size == len(b"'fact'(42)")
+    assert info.content_hash == content_hash(b"'fact'(42)")
+    assert info.policy_hash == "ph"
+    assert info.tuples[0].name == "fact"
+
+
+def test_object_view_lookup():
+    view = ObjectView(
+        object_id="obj",
+        current_version=2,
+        versions={2: VersionInfo.from_content(b"v2")},
+    )
+    assert view.info(2).size == 2
+    assert view.info(1) is None
+
+
+def test_context_resolve_refs():
+    ctx = EvalContext(operation="read", session_key="k", this_id="a", log_id="b")
+    assert ctx.resolve_ref("this") == "a"
+    assert ctx.resolve_ref("log") == "b"
+    with pytest.raises(PolicyError):
+        ctx.resolve_ref("other")
+
+
+def test_context_pending_version_visible():
+    view = ObjectView(object_id="obj", current_version=3, versions={})
+    pending = VersionInfo.from_content(b"incoming")
+    ctx = EvalContext(
+        operation="update",
+        session_key="k",
+        this_id="obj",
+        objects={"obj": view},
+        pending=pending,
+    )
+    assert ctx.version_info("obj", 4) is pending
+    assert ctx.version_info("obj", 3) is None  # not recorded in view
+
+
+def test_claim_conversion():
+    tup = claim_to_tuple("time", (1518652800,))
+    assert tup == TupleValue("time", (IntValue(1518652800),))
+    tup = claim_to_tuple("ts", ("k:fingerprint",))
+    assert tup.args[0] == PubKeyValue("fingerprint")
+    tup = claim_to_tuple("digest", ("h:abcd",))
+    assert tup.args[0] == HashValue("abcd")
+    tup = claim_to_tuple("group", ("staff",))
+    assert tup.args[0] == StrValue("staff")
+    tup = claim_to_tuple("nested", (["inner", 1],))
+    assert tup.args[0] == TupleValue("inner", (IntValue(1),))
+
+
+def test_claim_conversion_rejects_unknown():
+    with pytest.raises(PolicyError):
+        claim_to_tuple("bad", (object(),))

@@ -1,0 +1,97 @@
+"""Fuzzing the policy front-end: garbage must fail cleanly.
+
+The policy compiler is attacker-facing (clients submit policy source
+over the wire), so arbitrary input must produce a policy error — never
+a crash, hang, or foreign exception.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PolicyError
+from repro.kinetic.protocol import decode_fields
+from repro.errors import KineticError
+from repro.policy.binary import CompiledPolicy
+from repro.policy.compiler import compile_policy
+from repro.policy.context import parse_content_tuples
+from repro.policy.lexer import tokenize
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.text(max_size=200))
+def test_lexer_never_crashes(source):
+    try:
+        tokenize(source)
+    except PolicyError:
+        pass
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.text(max_size=200))
+def test_compiler_never_crashes(source):
+    try:
+        compile_policy(source)
+    except PolicyError:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.text(
+        alphabet="readupte:-()/\\',kh0123456789ABCxyz \n",
+        max_size=120,
+    )
+)
+def test_compiler_policy_shaped_garbage(source):
+    """Near-miss inputs built from the grammar's own alphabet."""
+    try:
+        compile_policy(source)
+    except PolicyError:
+        pass
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.binary(max_size=400))
+def test_binary_loader_never_crashes(blob):
+    """Corrupt compiled-policy blobs fetched from untrusted disks."""
+    try:
+        CompiledPolicy.from_bytes(blob)
+    except PolicyError:
+        pass
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.binary(max_size=300))
+def test_content_tuple_parser_never_crashes(content):
+    """objSays parses arbitrary object bytes; they may say nothing."""
+    tuples = parse_content_tuples(content)
+    assert isinstance(tuples, list)
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.binary(max_size=300))
+def test_wire_decoder_never_crashes(blob):
+    """Kinetic field decoding of attacker-controlled bytes.
+
+    Truncated varints surface as VarintError and framing issues as
+    KineticError — both PesosError, never a foreign exception.
+    """
+    from repro.errors import PesosError
+
+    try:
+        decode_fields(blob)
+    except PesosError:
+        pass
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.binary(max_size=300))
+def test_frame_decoder_never_crashes(blob):
+    """Full Kinetic frames from an untrusted network peer."""
+    from repro.errors import PesosError
+    from repro.kinetic.protocol import Message
+
+    try:
+        Message.decode(blob)
+    except PesosError:
+        pass

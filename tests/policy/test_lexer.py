@@ -1,0 +1,115 @@
+"""Tokenizer behaviour: every token kind, comments, errors."""
+
+import pytest
+
+from repro.errors import PolicySyntaxError
+from repro.policy.lexer import TokenType, tokenize
+
+
+def _types(source):
+    return [t.type for t in tokenize(source)][:-1]  # drop EOF
+
+
+def test_basic_permission_tokens():
+    assert _types("read :- sessionKeyIs(K)") == [
+        TokenType.IDENT,
+        TokenType.GRANT,
+        TokenType.IDENT,
+        TokenType.LPAREN,
+        TokenType.IDENT,
+        TokenType.RPAREN,
+    ]
+
+
+def test_connectives_ascii():
+    assert _types(r"a(X) /\ b(Y) \/ c(Z)") == [
+        TokenType.IDENT, TokenType.LPAREN, TokenType.IDENT, TokenType.RPAREN,
+        TokenType.AND,
+        TokenType.IDENT, TokenType.LPAREN, TokenType.IDENT, TokenType.RPAREN,
+        TokenType.OR,
+        TokenType.IDENT, TokenType.LPAREN, TokenType.IDENT, TokenType.RPAREN,
+    ]
+
+
+def test_connectives_unicode():
+    assert TokenType.AND in _types("a(X) ∧ b(Y)")
+    assert TokenType.OR in _types("a(X) ∨ b(Y)")
+
+
+def test_connectives_keywords():
+    types = _types("a(X) and b(Y) or c(Z)")
+    assert types.count(TokenType.AND) == 1
+    assert types.count(TokenType.OR) == 1
+
+
+def test_string_literals():
+    tokens = tokenize("'read' \"write\"")
+    assert tokens[0].type is TokenType.STRING
+    assert tokens[0].text == "read"
+    assert tokens[1].text == "write"
+
+
+def test_hash_and_pubkey_literals():
+    tokens = tokenize("h'deadbeef' k'cafe01'")
+    assert tokens[0].type is TokenType.HASH
+    assert tokens[0].text == "deadbeef"
+    assert tokens[1].type is TokenType.PUBKEY
+    assert tokens[1].text == "cafe01"
+
+
+def test_h_identifier_not_confused_with_hash():
+    tokens = tokenize("hash(h)")
+    assert tokens[0].type is TokenType.IDENT
+    assert tokens[0].text == "hash"
+    assert tokens[2].text == "h"
+
+
+def test_integers_and_arithmetic():
+    types = _types("nextVersion(cV + 1)")
+    assert TokenType.PLUS in types
+    assert TokenType.INT in types
+
+
+def test_minus_token():
+    assert TokenType.MINUS in _types("f(a - 1)")
+
+
+def test_comments_ignored():
+    tokens = tokenize("# full line\nread :- a(X) // trailing\n")
+    assert tokens[0].text == "read"
+    assert all(t.type is not TokenType.IDENT or t.text in ("read", "a", "X")
+               for t in tokens)
+
+
+def test_line_column_tracking():
+    tokens = tokenize("read :-\n  a(X)")
+    a_token = [t for t in tokens if t.text == "a"][0]
+    assert a_token.line == 2
+    assert a_token.column == 3
+
+
+def test_unterminated_string():
+    with pytest.raises(PolicySyntaxError):
+        tokenize("read :- eq('oops")
+
+
+def test_unterminated_hash_literal():
+    with pytest.raises(PolicySyntaxError):
+        tokenize("h'abc")
+
+
+def test_unexpected_character():
+    with pytest.raises(PolicySyntaxError) as excinfo:
+        tokenize("read :- a(X) @ b(Y)")
+    assert excinfo.value.line == 1
+
+
+def test_multiline_string_rejected():
+    with pytest.raises(PolicySyntaxError):
+        tokenize("'line1\nline2'")
+
+
+def test_empty_source_just_eof():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].type is TokenType.EOF

@@ -1,0 +1,189 @@
+"""Parser: grammar coverage and error reporting."""
+
+import pytest
+
+from repro.errors import PolicySyntaxError
+from repro.policy.ast import (
+    Arith,
+    HashValue,
+    IntValue,
+    Literal,
+    NullValue,
+    ObjectRef,
+    PubKeyValue,
+    StrValue,
+    TupleTerm,
+    Variable,
+)
+from repro.policy.parser import parse_policy
+
+
+def test_simple_access_control_policy():
+    ast = parse_policy(
+        """
+        read   :- sessionKeyIs(k'alice')
+        update :- sessionKeyIs(k'bob')
+        delete :- sessionKeyIs(k'admin')
+        """
+    )
+    assert [p.operation for p in ast.permissions] == ["read", "update", "delete"]
+    read = ast.permission("read")
+    assert len(read.clauses) == 1
+    predicate = read.clauses[0].predicates[0]
+    assert predicate.name == "sessionKeyIs"
+    assert predicate.args == (Literal(PubKeyValue("alice")),)
+
+
+def test_destroy_is_delete_alias():
+    ast = parse_policy("destroy :- sessionKeyIs(k'admin')")
+    assert ast.permission("delete") is not None
+
+
+def test_disjunction_produces_clauses():
+    ast = parse_policy(r"read :- sessionKeyIs(k'a') \/ sessionKeyIs(k'b')")
+    assert len(ast.permission("read").clauses) == 2
+
+
+def test_conjunction_within_clause():
+    ast = parse_policy(r"update :- objId(this, O) /\ currVersion(O, V)")
+    clause = ast.permission("update").clauses[0]
+    assert [p.name for p in clause.predicates] == ["objId", "currVersion"]
+
+
+def test_dnf_structure():
+    ast = parse_policy(
+        r"read :- a(X) /\ b(Y) \/ c(Z) /\ d(W) \/ e(Q)"
+    )
+    clauses = ast.permission("read").clauses
+    assert [len(c.predicates) for c in clauses] == [2, 2, 1]
+
+
+def test_object_refs():
+    ast = parse_policy("read :- objId(this, O) and objId(log, L)")
+    predicates = ast.permission("read").clauses[0].predicates
+    assert predicates[0].args[0] == ObjectRef("this")
+    assert predicates[1].args[0] == ObjectRef("log")
+
+
+def test_this_case_insensitive():
+    ast = parse_policy("read :- objId(THIS, O)")
+    assert ast.permission("read").clauses[0].predicates[0].args[0] == ObjectRef("this")
+
+
+def test_null_literal():
+    ast = parse_policy("update :- objId(this, NULL)")
+    arg = ast.permission("update").clauses[0].predicates[0].args[1]
+    assert arg == Literal(NullValue())
+
+
+def test_arithmetic_term():
+    ast = parse_policy("update :- nextVersion(cV + 1)")
+    arg = ast.permission("update").clauses[0].predicates[0].args[0]
+    assert arg == Arith(op="+", left=Variable("cV"), right=Literal(IntValue(1)))
+
+
+def test_subtraction_term():
+    ast = parse_policy("read :- eq(V, W - 1)")
+    arg = ast.permission("read").clauses[0].predicates[0].args[1]
+    assert isinstance(arg, Arith)
+    assert arg.op == "-"
+
+
+def test_chained_arithmetic_left_assoc():
+    ast = parse_policy("read :- eq(X, A + 1 - 2)")
+    arg = ast.permission("read").clauses[0].predicates[0].args[1]
+    assert arg.op == "-"
+    assert arg.left.op == "+"
+
+
+def test_quoted_tuple_term():
+    ast = parse_policy("update :- certificateSays(k'ca', 'time'(T))")
+    tuple_arg = ast.permission("update").clauses[0].predicates[0].args[1]
+    assert tuple_arg == TupleTerm(name="time", args=(Variable("T"),))
+
+
+def test_bare_tuple_term():
+    ast = parse_policy("read :- objSays(this, V, entry(A, 1))")
+    tuple_arg = ast.permission("read").clauses[0].predicates[0].args[2]
+    assert tuple_arg.name == "entry"
+    assert tuple_arg.args == (Variable("A"), Literal(IntValue(1)))
+
+
+def test_nested_tuple():
+    ast = parse_policy("read :- certificateSays(k'ca', 'grp'(member('alice')))")
+    outer = ast.permission("read").clauses[0].predicates[0].args[1]
+    inner = outer.args[0]
+    assert inner == TupleTerm(name="member", args=(Literal(StrValue("alice")),))
+
+
+def test_hash_literal_argument():
+    ast = parse_policy("read :- objHash(this, V, h'aabb')")
+    arg = ast.permission("read").clauses[0].predicates[0].args[2]
+    assert arg == Literal(HashValue("aabb"))
+
+
+def test_empty_args():
+    ast = parse_policy("read :- someFlag()")
+    assert ast.permission("read").clauses[0].predicates[0].args == ()
+
+
+def test_paper_versioned_store_policy_parses():
+    ast = parse_policy(
+        r"""
+        update :- objId(this, O) /\ currVersion(O, cV)
+                  /\ nextVersion(cV + 1)
+               \/ objId(this, NULL) /\ nextVersion(0)
+        """
+    )
+    assert len(ast.permission("update").clauses) == 2
+
+
+def test_paper_mal_policy_parses():
+    ast = parse_policy(
+        r"""
+        read :- objId(THIS, O) /\ objId(LOG, L) /\ currIndex(O, V)
+                /\ sessionKeyIs(U) /\ objSays(L, LV, 'read'(O, V, U))
+        update :- objId(THIS, O) /\ objId(LOG, L) /\ sessionKeyIs(U)
+                /\ currIndex(O, V) /\ nextIndex(O, V + 1)
+                /\ objHash(O, V, CH) /\ objHash(O, V + 1, NH)
+                /\ objSays(L, LV, 'write'(O, V, CH, NH, U))
+        """
+    )
+    assert ast.permission("read") is not None
+    assert ast.permission("update") is not None
+
+
+def test_duplicate_permission_rejected():
+    with pytest.raises(PolicySyntaxError, match="duplicate"):
+        parse_policy("read :- a(X)\nread :- b(Y)")
+
+
+def test_unknown_permission_rejected():
+    with pytest.raises(PolicySyntaxError, match="unknown permission"):
+        parse_policy("write :- a(X)")
+
+
+def test_empty_policy_rejected():
+    with pytest.raises(PolicySyntaxError):
+        parse_policy("   # nothing here\n")
+
+
+def test_missing_grant_rejected():
+    with pytest.raises(PolicySyntaxError):
+        parse_policy("read sessionKeyIs(K)")
+
+
+def test_missing_paren_rejected():
+    with pytest.raises(PolicySyntaxError):
+        parse_policy("read :- sessionKeyIs(K")
+
+
+def test_dangling_and_rejected():
+    with pytest.raises(PolicySyntaxError):
+        parse_policy(r"read :- a(X) /\ ")
+
+
+def test_error_carries_location():
+    with pytest.raises(PolicySyntaxError) as excinfo:
+        parse_policy("read :-\n  sessionKeyIs(")
+    assert excinfo.value.line == 2

@@ -1,0 +1,63 @@
+"""Registry coverage: every Table 1 predicate, opcodes, arities."""
+
+import pytest
+
+from repro.errors import PolicyCompileError
+from repro.policy.predicates import (
+    all_predicates,
+    lookup_predicate,
+    predicate_by_opcode,
+)
+
+#: The thirteen predicates of Table 1 plus the MAL index aliases.
+TABLE_1 = [
+    ("eq", 2, 2),
+    ("le", 2, 2),
+    ("lt", 2, 2),
+    ("ge", 2, 2),
+    ("gt", 2, 2),
+    ("certificateSays", 2, 3),
+    ("sessionKeyIs", 1, 1),
+    ("objId", 2, 2),
+    ("currVersion", 2, 2),
+    ("nextVersion", 1, 1),
+    ("objSize", 3, 3),
+    ("objPolicy", 3, 3),
+    ("objHash", 3, 3),
+    ("objSays", 3, 3),
+]
+
+ALIASES = [("currIndex", 2, 2), ("nextIndex", 1, 2)]
+
+
+@pytest.mark.parametrize("name,min_arity,max_arity", TABLE_1 + ALIASES)
+def test_predicate_registered(name, min_arity, max_arity):
+    spec = lookup_predicate(name)
+    assert spec.min_arity == min_arity
+    assert spec.max_arity == max_arity
+
+
+def test_lookup_is_case_insensitive():
+    assert lookup_predicate("sessionkeyis") is lookup_predicate("sessionKeyIs")
+
+
+def test_unknown_predicate_raises():
+    with pytest.raises(PolicyCompileError):
+        lookup_predicate("unknownPredicate")
+
+
+def test_opcodes_are_unique_and_resolvable():
+    specs = all_predicates()
+    opcodes = [spec.opcode for spec in specs]
+    assert len(opcodes) == len(set(opcodes))
+    for spec in specs:
+        assert predicate_by_opcode(spec.opcode) is spec
+
+
+def test_unknown_opcode_raises():
+    with pytest.raises(PolicyCompileError):
+        predicate_by_opcode(9999)
+
+
+def test_registry_size_matches_table():
+    assert len(all_predicates()) == len(TABLE_1) + len(ALIASES)

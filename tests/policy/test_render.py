@@ -1,0 +1,94 @@
+"""Decompiler: render + round-trip guarantees."""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.policy.binary import CompiledPolicy
+from repro.policy.compiler import compile_policy
+from repro.policy.render import explain_policy, render_policy
+
+PAPER_POLICIES = [
+    # §5.1 access control
+    "read :- sessionKeyIs(k'alice') \\/ sessionKeyIs(k'bob')\n"
+    "update :- sessionKeyIs(k'alice')\n"
+    "delete :- sessionKeyIs(k'admin')",
+    # §5.2 time-based (chain of trust)
+    "update :- certificateSays(k'ca', 'ts'(TSKEY))"
+    " /\\ certificateSays(TSKEY, 60, 'time'(T)) /\\ ge(T, 1000)",
+    # §5.3 versioned store
+    "update :- objId(this, O) /\\ currVersion(O, cV)"
+    " /\\ nextVersion(cV + 1)"
+    " \\/ objId(this, NULL) /\\ nextVersion(0)",
+    # §5.4 MAL (read permission)
+    "read :- objId(this, O) /\\ objId(log, L) /\\ currIndex(O, V)"
+    " /\\ sessionKeyIs(U) /\\ objSays(L, LV, 'read'(O, V, U))",
+]
+
+
+@pytest.mark.parametrize("source", PAPER_POLICIES)
+def test_roundtrip_preserves_identity(source):
+    policy = compile_policy(source)
+    rendered = render_policy(policy)
+    recompiled = compile_policy(rendered)
+    assert recompiled.policy_hash() == policy.policy_hash()
+
+
+def test_rendering_survives_serialization():
+    policy = compile_policy(PAPER_POLICIES[2])
+    reloaded = CompiledPolicy.from_bytes(policy.to_bytes())
+    assert render_policy(reloaded) == render_policy(policy)
+
+
+def test_render_shows_all_permissions():
+    policy = compile_policy(PAPER_POLICIES[0])
+    text = render_policy(policy)
+    assert text.splitlines()[0].startswith("read :- ")
+    assert "update :- " in text
+    assert "delete :- " in text
+
+
+def test_render_arithmetic_and_refs():
+    policy = compile_policy(PAPER_POLICIES[2])
+    text = render_policy(policy)
+    assert "cV + 1" in text
+    assert "objId(this, O)" in text
+    assert "NULL" in text
+
+
+def test_render_tuples_and_hashes():
+    policy = compile_policy("read :- objHash(this, 2, h'abcd')"
+                            " /\\ objSays(this, V, 'e'(1, k'fp'))")
+    text = render_policy(policy)
+    assert "h'abcd'" in text
+    assert "'e'(1, k'fp')" in text
+
+
+def test_explain_mentions_missing_permissions():
+    policy = compile_policy("read :- eq(1, 1)")
+    explained = explain_policy(policy)
+    assert "update: never granted" in explained
+    assert "delete: never granted" in explained
+    assert policy.policy_hash()[:16] in explained
+
+
+_fps = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    readers=st.lists(_fps, min_size=1, max_size=4, unique=True),
+    threshold=st.integers(min_value=0, max_value=999),
+)
+def test_roundtrip_property(readers, threshold):
+    clause = " \\/ ".join(f"sessionKeyIs(k'{fp}')" for fp in readers)
+    source = (
+        f"read :- {clause}\n"
+        f"update :- currVersion(this, V) /\\ ge(V, {threshold})"
+    )
+    policy = compile_policy(source)
+    assert compile_policy(render_policy(policy)).policy_hash() == (
+        policy.policy_hash()
+    )

@@ -1,0 +1,100 @@
+"""EPC paging model: residency, faults, LRU replacement."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sgx.epc import PAGE_SIZE, EpcModel
+
+
+def test_unlimited_epc_never_faults():
+    epc = EpcModel(capacity_bytes=None)
+    assert epc.touch("heap", 0, 10 * PAGE_SIZE) == 0
+    assert epc.total_faults == 0
+
+
+def test_first_touch_faults_once_per_page():
+    epc = EpcModel(capacity_bytes=100 * PAGE_SIZE)
+    assert epc.touch("heap", 0, 3 * PAGE_SIZE) == 3
+    assert epc.resident_pages == 3
+
+
+def test_resident_pages_do_not_refault():
+    epc = EpcModel(capacity_bytes=100 * PAGE_SIZE)
+    epc.touch("heap", 0, 4 * PAGE_SIZE)
+    assert epc.touch("heap", 0, 4 * PAGE_SIZE) == 0
+
+
+def test_partial_page_access_rounds_to_pages():
+    epc = EpcModel(capacity_bytes=100 * PAGE_SIZE)
+    # 1 byte spanning into the second page -> 2 pages.
+    assert epc.touch("heap", PAGE_SIZE - 1, 2) == 2
+
+
+def test_zero_length_access_is_free():
+    epc = EpcModel(capacity_bytes=10 * PAGE_SIZE)
+    assert epc.touch("heap", 0, 0) == 0
+
+
+def test_lru_eviction_when_over_capacity():
+    epc = EpcModel(capacity_bytes=2 * PAGE_SIZE)
+    epc.touch("a", 0, PAGE_SIZE)
+    epc.touch("b", 0, PAGE_SIZE)
+    epc.touch("a", 0, PAGE_SIZE)  # refresh "a"
+    epc.touch("c", 0, PAGE_SIZE)  # evicts "b" (LRU)
+    assert epc.touch("a", 0, PAGE_SIZE) == 0  # still resident
+    assert epc.touch("b", 0, PAGE_SIZE) == 1  # was evicted
+
+
+def test_working_set_exceeding_epc_thrashes():
+    epc = EpcModel(capacity_bytes=4 * PAGE_SIZE)
+    # Cycle through 8 pages repeatedly: with LRU, every access faults.
+    for _ in range(3):
+        for page in range(8):
+            epc.touch("ws", page * PAGE_SIZE, PAGE_SIZE)
+    assert epc.fault_rate() == 1.0
+
+
+def test_working_set_within_epc_no_steady_state_faults():
+    epc = EpcModel(capacity_bytes=8 * PAGE_SIZE)
+    for _ in range(3):
+        for page in range(4):
+            epc.touch("ws", page * PAGE_SIZE, PAGE_SIZE)
+    assert epc.total_faults == 4  # cold misses only
+
+
+def test_evict_region():
+    epc = EpcModel(capacity_bytes=100 * PAGE_SIZE)
+    epc.touch("a", 0, 2 * PAGE_SIZE)
+    epc.touch("b", 0, 3 * PAGE_SIZE)
+    assert epc.evict_region("b") == 3
+    assert epc.resident_pages == 2
+
+
+def test_resident_bytes():
+    epc = EpcModel(capacity_bytes=100 * PAGE_SIZE)
+    epc.touch("a", 0, PAGE_SIZE)
+    assert epc.resident_bytes == PAGE_SIZE
+
+
+def test_invalid_capacity():
+    with pytest.raises(ConfigurationError):
+        EpcModel(capacity_bytes=0)
+
+
+@given(
+    accesses=st.lists(
+        st.tuples(
+            st.sampled_from(["a", "b", "c"]),
+            st.integers(0, 50 * PAGE_SIZE),
+            st.integers(1, 4 * PAGE_SIZE),
+        ),
+        max_size=60,
+    )
+)
+def test_residency_never_exceeds_capacity(accesses):
+    epc = EpcModel(capacity_bytes=8 * PAGE_SIZE)
+    for region, offset, length in accesses:
+        epc.touch(region, offset, length)
+        assert epc.resident_pages <= 8

@@ -1,0 +1,126 @@
+"""Userspace scheduler: multiplexing, syscall waits, error paths."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sgx.scheduler import UserspaceScheduler
+from repro.sgx.syscalls import AsyncSyscallInterface
+
+
+def _scheduler(hardware_threads=2):
+    iface = AsyncSyscallInterface(num_slots=64)
+    iface.register_handler("double", lambda x: 2 * x)
+    iface.register_handler("fail", lambda: (_ for _ in ()).throw(IOError("disk")))
+    return UserspaceScheduler(iface, hardware_threads=hardware_threads)
+
+
+def test_single_thread_with_syscall():
+    sched = _scheduler()
+
+    def task():
+        value = yield ("syscall", "double", (21,))
+        return value
+
+    thread = sched.spawn(task())
+    sched.run_to_completion()
+    assert thread.finished
+    assert thread.result == 42
+
+
+def test_many_threads_multiplex_on_few_cores():
+    sched = _scheduler(hardware_threads=2)
+
+    def task(n):
+        total = 0
+        for _ in range(3):
+            total = yield ("syscall", "double", (n,))
+        return total
+
+    threads = [sched.spawn(task(i)) for i in range(20)]
+    sched.run_to_completion()
+    assert all(t.finished for t in threads)
+    assert [t.result for t in threads] == [2 * i for i in range(20)]
+
+
+def test_syscall_error_thrown_into_thread():
+    sched = _scheduler()
+
+    def task():
+        try:
+            yield ("syscall", "fail", ())
+        except IOError:
+            return "recovered"
+
+    thread = sched.spawn(task())
+    sched.run_to_completion()
+    assert thread.result == "recovered"
+
+
+def test_unhandled_thread_error_captured():
+    sched = _scheduler()
+
+    def task():
+        yield ("syscall", "double", (1,))
+        raise ValueError("bug in handler")
+
+    thread = sched.spawn(task())
+    sched.run_to_completion()
+    assert thread.finished
+    assert isinstance(thread.error, ValueError)
+
+
+def test_voluntary_yield_reschedules():
+    sched = _scheduler(hardware_threads=1)
+    order = []
+
+    def task(name):
+        order.append(f"{name}-a")
+        yield "yield"
+        order.append(f"{name}-b")
+        return name
+
+    sched.spawn(task("t1"))
+    sched.spawn(task("t2"))
+    sched.run_to_completion()
+    assert order == ["t1-a", "t2-a", "t1-b", "t2-b"]
+
+
+def test_bad_yield_value_fails_thread():
+    sched = _scheduler()
+
+    def task():
+        yield 12345
+
+    thread = sched.spawn(task())
+    sched.run_to_completion()
+    assert isinstance(thread.error, ConfigurationError)
+
+
+def test_context_switches_counted():
+    sched = _scheduler()
+
+    def task():
+        yield ("syscall", "double", (1,))
+        yield ("syscall", "double", (2,))
+
+    sched.spawn(task())
+    sched.run_to_completion()
+    assert sched.total_context_switches >= 3
+
+
+def test_thread_without_syscalls_completes():
+    sched = _scheduler()
+
+    def task():
+        return "done"
+        yield  # pragma: no cover - makes this a generator
+
+    thread = sched.spawn(task())
+    sched.run_to_completion()
+    assert thread.result == "done"
+
+
+def test_needs_hardware_thread():
+    iface = AsyncSyscallInterface()
+    with pytest.raises(ConfigurationError):
+        UserspaceScheduler(iface, hardware_threads=0)

@@ -1,0 +1,125 @@
+"""File-system shields: transparency, tampering, Iago defenses."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IntegrityError
+from repro.sgx.shields import (
+    BLOCK_SIZE,
+    HostFileSystem,
+    IagoViolation,
+    ShieldedFileSystem,
+)
+
+
+@pytest.fixture()
+def shield():
+    return ShieldedFileSystem(HostFileSystem(), key=b"k" * 32)
+
+
+def test_write_read_roundtrip(shield):
+    shield.write_file("/data/config", b"secret configuration")
+    assert shield.read_file("/data/config") == b"secret configuration"
+
+
+def test_multi_block_files(shield):
+    data = bytes(range(256)) * 64  # 16 KiB -> 4 blocks
+    shield.write_file("/data/big", data)
+    assert shield.read_file("/data/big") == data
+    assert shield.file_size("/data/big") == len(data)
+
+
+def test_empty_file(shield):
+    shield.write_file("/data/empty", b"")
+    assert shield.read_file("/data/empty") == b""
+
+
+def test_host_sees_only_ciphertext(shield):
+    shield.write_file("/data/f", b"plaintext marker")
+    for blob in shield.host.blocks.values():
+        assert b"plaintext marker" not in blob
+
+
+def test_overwrite_shrinks_cleanly(shield):
+    shield.write_file("/f", b"x" * (3 * BLOCK_SIZE))
+    shield.write_file("/f", b"short")
+    assert shield.read_file("/f") == b"short"
+    # Stale tail blocks are not left on the host.
+    assert ("/f", 2) not in shield.host.blocks
+
+
+def test_tampered_block_detected(shield):
+    shield.write_file("/f", b"data")
+    shield.host.tamper("/f")
+    with pytest.raises(IntegrityError, match="tampered"):
+        shield.read_file("/f")
+
+
+def test_spliced_block_detected(shield):
+    """A valid block from another file must not decrypt here."""
+    shield.write_file("/a", b"A" * 100)
+    shield.write_file("/b", b"B" * 100)
+    shield.host.splice(("/a", 0), ("/b", 0))
+    with pytest.raises(IntegrityError):
+        shield.read_file("/b")
+
+
+def test_block_reorder_detected(shield):
+    data = b"A" * BLOCK_SIZE + b"B" * BLOCK_SIZE
+    shield.write_file("/f", data)
+    shield.host.splice(("/f", 0), ("/f", 1))
+    with pytest.raises(IntegrityError):
+        shield.read_file("/f")
+
+
+def test_rollback_detected(shield):
+    shield.write_file("/f", b"version 1")
+    snap = shield.host.snapshot()
+    shield.write_file("/f", b"version 2")
+    shield.host.restore(snap)  # adversary replays the old disk image
+    with pytest.raises(IntegrityError, match="rolled back"):
+        shield.read_file("/f")
+
+
+def test_withheld_block_is_iago(shield):
+    shield.write_file("/f", b"data")
+    shield.host.delete_file("/f")
+    with pytest.raises(IagoViolation, match="withheld"):
+        shield.read_file("/f")
+
+
+def test_oversized_block_is_iago(shield):
+    shield.write_file("/f", b"data")
+    shield.host.blocks[("/f", 0)] += b"\x00" * (2 * BLOCK_SIZE)
+    with pytest.raises(IagoViolation, match="oversized"):
+        shield.read_file("/f")
+
+
+def test_missing_file(shield):
+    with pytest.raises(FileNotFoundError):
+        shield.read_file("/nope")
+    with pytest.raises(FileNotFoundError):
+        shield.delete_file("/nope")
+
+
+def test_delete(shield):
+    shield.write_file("/f", b"data")
+    shield.delete_file("/f")
+    assert shield.list_files() == []
+    with pytest.raises(FileNotFoundError):
+        shield.read_file("/f")
+
+
+def test_list_files(shield):
+    shield.write_file("/b", b"2")
+    shield.write_file("/a", b"1")
+    assert shield.list_files() == ["/a", "/b"]
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.binary(max_size=3 * BLOCK_SIZE + 17))
+def test_roundtrip_property(data):
+    shield = ShieldedFileSystem(key=b"k" * 32)
+    shield.write_file("/f", data)
+    assert shield.read_file("/f") == data

@@ -1,0 +1,167 @@
+"""Resource and Store semantics under contention."""
+
+import pytest
+
+from repro.sim import Environment, Resource, SimulationError, Store
+
+
+def test_resource_serializes_at_capacity_one():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    spans = []
+
+    def worker(name):
+        yield res.acquire()
+        start = env.now
+        yield env.timeout(2)
+        res.release()
+        spans.append((name, start, env.now))
+
+    env.process(worker("a"))
+    env.process(worker("b"))
+    env.run()
+    assert spans == [("a", 0, 2), ("b", 2, 4)]
+
+
+def test_resource_parallelism_at_higher_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    finish = []
+
+    def worker():
+        yield res.acquire()
+        yield env.timeout(2)
+        res.release()
+        finish.append(env.now)
+
+    for _ in range(4):
+        env.process(worker())
+    env.run()
+    assert finish == [2, 2, 4, 4]
+
+
+def test_release_without_acquire_rejected():
+    env = Environment()
+    res = Resource(env)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_capacity_validation():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+
+
+def test_queue_len_visible():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder():
+        yield res.acquire()
+        yield env.timeout(10)
+        res.release()
+
+    def waiter():
+        yield env.timeout(1)
+        yield res.acquire()
+        res.release()
+
+    env.process(holder())
+    env.process(waiter())
+    env.run(until=2)
+    assert res.queue_len == 1
+    assert res.in_use == 1
+
+
+def test_utilization_accounting():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def worker():
+        yield res.acquire()
+        yield env.timeout(5)
+        res.release()
+
+    env.process(worker())
+    env.run(until=10)
+    assert res.utilization() == pytest.approx(0.5)
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    out = []
+
+    def producer():
+        for item in ("x", "y", "z"):
+            store.put(item)
+            yield env.timeout(1)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            out.append(item)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert out == ["x", "y", "z"]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    got_at = []
+
+    def consumer():
+        yield store.get()
+        got_at.append(env.now)
+
+    def producer():
+        yield env.timeout(4)
+        store.put("late")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got_at == [4]
+
+
+def test_store_capacity_enforced():
+    env = Environment()
+    store = Store(env, capacity=1)
+    store.put(1)
+    with pytest.raises(SimulationError):
+        store.put(2)
+
+
+def test_store_depth_metrics():
+    env = Environment()
+    store = Store(env)
+    store.put(1)
+    store.put(2)
+    assert store.max_depth == 2
+    assert store.total_put == 2
+
+
+def test_many_waiters_woken_in_order():
+    env = Environment()
+    store = Store(env)
+    order = []
+
+    def consumer(name):
+        item = yield store.get()
+        order.append((name, item))
+
+    for name in ("c1", "c2", "c3"):
+        env.process(consumer(name))
+
+    def producer():
+        yield env.timeout(1)
+        for item in range(3):
+            store.put(item)
+
+    env.process(producer())
+    env.run()
+    assert order == [("c1", 0), ("c2", 1), ("c3", 2)]

@@ -1,0 +1,72 @@
+"""Content server (§5.1): per-object ACL enforcement."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.usecases.content_server import ContentServer, acl_policy
+from tests.usecases.conftest import ADMIN, ALICE, BOB, CAROL
+
+
+@pytest.fixture()
+def server(controller):
+    return ContentServer(controller, admin_fingerprint=ADMIN)
+
+
+def test_acl_policy_renders_paper_example():
+    source = acl_policy(
+        readers=["Kalice", "Kbob"], writers=["Kalice"], deleters=["Kadmin"]
+    )
+    assert "read :- sessionKeyIs(k'Kalice') \\/ sessionKeyIs(k'Kbob')" in source
+    assert "update :- sessionKeyIs(k'Kalice')" in source
+    assert "delete :- sessionKeyIs(k'Kadmin')" in source
+
+
+def test_acl_policy_needs_someone():
+    with pytest.raises(ConfigurationError):
+        acl_policy(readers=[], writers=[])
+
+
+def test_readers_can_fetch(server):
+    server.publish(ALICE, "article", b"content", readers=[ALICE, BOB])
+    assert server.fetch(ALICE, "article").value == b"content"
+    assert server.fetch(BOB, "article").value == b"content"
+
+
+def test_non_reader_denied(server):
+    server.publish(ALICE, "article", b"content", readers=[ALICE, BOB])
+    assert server.fetch(CAROL, "article").status == 403
+
+
+def test_only_writers_update(server):
+    server.publish(
+        ALICE, "article", b"v0", readers=[ALICE, BOB], writers=[ALICE]
+    )
+    denied = server.controller.put(BOB, "article", b"vandalism")
+    assert denied.status == 403
+    assert server.controller.put(ALICE, "article", b"v1").ok
+    assert server.fetch(BOB, "article").value == b"v1"
+
+
+def test_admin_deletes(server):
+    server.publish(ALICE, "article", b"v", readers=[ALICE])
+    assert server.remove(ALICE, "article").status == 403
+    assert server.remove(ADMIN, "article").ok
+    assert server.fetch(ALICE, "article").status == 404
+
+
+def test_policies_reused_across_objects(server):
+    server.publish(ALICE, "a", b"1", readers=[ALICE, BOB])
+    server.publish(ALICE, "b", b"2", readers=[ALICE, BOB])
+    # Same ACL -> same policy id -> 1:M policy-to-object mapping.
+    meta_a = server.controller._get_meta("a")
+    meta_b = server.controller._get_meta("b")
+    assert meta_a.policy_id == meta_b.policy_id
+
+
+def test_distinct_acls_get_distinct_policies(server):
+    server.publish(ALICE, "a", b"1", readers=[ALICE])
+    server.publish(ALICE, "b", b"2", readers=[BOB, ALICE])
+    assert (
+        server.controller._get_meta("a").policy_id
+        != server.controller._get_meta("b").policy_id
+    )

@@ -1,0 +1,122 @@
+"""Mandatory access logging (§5.4): intent-before-access."""
+
+import pytest
+
+from repro.errors import PesosError
+from repro.usecases.mal import MalStore, read_intent, write_intent
+from tests.usecases.conftest import ALICE, BOB
+
+
+@pytest.fixture()
+def mal(controller):
+    store = MalStore(controller)
+    store.protect(ALICE, "record", b"initial state")
+    return store
+
+
+def test_protect_creates_object_and_log(mal, controller):
+    assert controller._get_meta("record").exists
+    assert controller._get_meta("record.log").exists
+
+
+def test_logged_read_succeeds(mal):
+    response = mal.read(BOB, "record")
+    assert response.ok
+    assert response.value == b"initial state"
+
+
+def test_unlogged_read_denied(mal):
+    assert mal.unlogged_read(BOB, "record").status == 403
+
+
+def test_read_granted_only_after_matching_entry(mal):
+    # Bob logs a read; Carol still cannot read (her intent is absent).
+    mal.read(BOB, "record")
+    assert mal.unlogged_read("fp-carol", "record").status == 403
+
+
+def test_logged_write_succeeds_and_is_visible(mal):
+    response = mal.write(BOB, "record", b"updated by bob")
+    assert response.ok
+    assert mal.read(ALICE, "record").value == b"updated by bob"
+
+
+def test_unlogged_write_denied(mal, controller):
+    from repro.core.request import Request
+
+    target = controller._get_meta("record")
+    response = controller.handle(
+        Request(
+            method="put",
+            key="record",
+            value=b"sneaky",
+            version=target.current_version + 1,
+        ),
+        BOB,
+    )
+    assert response.status == 403
+
+
+def test_write_intent_must_match_content(mal, controller):
+    """An intent logged for different content does not authorize."""
+    import hashlib
+
+    from repro.core.request import Request
+
+    target = controller._get_meta("record")
+    version = target.current_version
+    current_hash = target.versions[version].content_hash
+    wrong_hash = hashlib.sha256(b"what bob said he would write").hexdigest()
+    mal._append_log(
+        BOB,
+        "record",
+        write_intent("record", version, current_hash, wrong_hash, BOB),
+    )
+    response = controller.handle(
+        Request(
+            method="put",
+            key="record",
+            value=b"what bob actually writes",
+            version=version + 1,
+        ),
+        BOB,
+    )
+    assert response.status == 403
+
+
+def test_audit_trail_records_history(mal):
+    mal.read(BOB, "record")
+    mal.write(BOB, "record", b"v1")
+    trail = mal.audit_trail(ALICE, "record")
+    assert any("'read'" in line and "fp-bob" in line for line in trail)
+    assert any("'write'" in line for line in trail)
+
+
+def test_intent_renderers():
+    assert read_intent("k", 3, "fp") == "'read'('k', 3, k'fp')"
+    line = write_intent("k", 3, "aa", "bb", "fp")
+    assert line == "'write'('k', 3, h'aa', h'bb', k'fp')"
+
+
+def test_log_is_append_only(mal, controller):
+    """The log's versioned policy rejects overwriting old entries."""
+    from repro.core.request import Request
+
+    response = controller.handle(
+        Request(method="put", key="record.log", value=b"", version=0),
+        BOB,
+    )
+    assert response.status == 403
+
+
+def test_read_of_unprotected_object_raises(mal):
+    with pytest.raises(PesosError):
+        mal.read(BOB, "unknown-object")
+
+
+def test_intents_do_not_transfer_between_objects(mal, controller):
+    mal2 = MalStore(controller)
+    mal2.protect(ALICE, "other", b"other state")
+    mal.read(BOB, "record")
+    # Bob's intent for "record" must not open "other".
+    assert mal2.unlogged_read(BOB, "other").status == 403

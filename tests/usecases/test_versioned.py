@@ -1,0 +1,67 @@
+"""Versioned store (§5.3): version discipline and history."""
+
+import pytest
+
+from repro.usecases.versioned import VersionedStore, versioned_policy
+from tests.usecases.conftest import ALICE, BOB
+
+
+@pytest.fixture()
+def store(controller):
+    return VersionedStore(controller)
+
+
+def test_create_at_version_zero(store):
+    assert store.put(ALICE, "doc", b"v0", expected_version=0).ok
+
+
+def test_create_at_nonzero_rejected(store):
+    assert store.put(ALICE, "doc", b"v0", expected_version=3).status == 403
+
+
+def test_update_requires_successor_version(store):
+    store.put(ALICE, "doc", b"v0", expected_version=0)
+    assert store.put(ALICE, "doc", b"v1", expected_version=1).ok
+    # Re-using an old version number is a conflict -> denied.
+    assert store.put(ALICE, "doc", b"v1b", expected_version=1).status == 403
+    # Skipping ahead is denied too.
+    assert store.put(ALICE, "doc", b"v9", expected_version=9).status == 403
+
+
+def test_update_without_version_argument_denied(store, controller):
+    store.put(ALICE, "doc", b"v0", expected_version=0)
+    assert controller.put(ALICE, "doc", b"oops").status == 403
+
+
+def test_lost_update_detected(store):
+    """Two clients racing from the same version: second writer loses."""
+    store.put(ALICE, "doc", b"v0", expected_version=0)
+    store.put(ALICE, "doc", b"alice-edit", expected_version=1)
+    assert store.put(BOB, "doc", b"bob-edit", expected_version=1).status == 403
+
+
+def test_history_preserved(store):
+    store.put(ALICE, "doc", b"v0", expected_version=0)
+    store.put(ALICE, "doc", b"v1", expected_version=1)
+    store.put(ALICE, "doc", b"v2", expected_version=2)
+    assert store.history(ALICE, "doc") == [b"v0", b"v1", b"v2"]
+
+
+def test_old_versions_readable(store):
+    store.put(ALICE, "doc", b"v0", expected_version=0)
+    store.put(ALICE, "doc", b"v1", expected_version=1)
+    assert store.get(ALICE, "doc", version=0).value == b"v0"
+    assert store.get(BOB, "doc").value == b"v1"
+
+
+def test_writer_restricted_policy():
+    source = versioned_policy(writers=["fp-alice"])
+    assert "sessionKeyIs(k'fp-alice')" in source
+    assert source.count("objId(this, NULL)") == 1
+
+
+def test_writer_restriction_enforced(controller):
+    store = VersionedStore(controller, writers=[ALICE])
+    assert store.put(ALICE, "doc", b"v0", expected_version=0).ok
+    assert store.put(BOB, "doc", b"v1", expected_version=1).status == 403
+    assert store.put(ALICE, "doc", b"v1", expected_version=1).ok

@@ -1,0 +1,61 @@
+"""Byte helpers: XOR and size parsing/formatting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bytesutil import fmt_size, parse_size, xor_bytes
+
+
+def test_xor_basic():
+    assert xor_bytes(b"\x0f\xf0", b"\xff\xff") == b"\xf0\x0f"
+
+
+def test_xor_identity():
+    data = b"hello world"
+    assert xor_bytes(data, bytes(len(data))) == data
+
+
+def test_xor_self_is_zero():
+    data = b"pesos"
+    assert xor_bytes(data, data) == bytes(len(data))
+
+
+def test_xor_length_mismatch():
+    with pytest.raises(ValueError):
+        xor_bytes(b"ab", b"abc")
+
+
+@given(st.binary(min_size=1, max_size=64), st.binary(min_size=1, max_size=64))
+def test_xor_involution(a, b):
+    n = min(len(a), len(b))
+    a, b = a[:n], b[:n]
+    assert xor_bytes(xor_bytes(a, b), b) == a
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("0", 0),
+        ("512", 512),
+        ("1KB", 1024),
+        ("96MB", 96 * 1024 * 1024),
+        ("1 kb", 1024),
+        ("1.5KB", 1536),
+        ("4TB", 4 * 1024**4),
+    ],
+)
+def test_parse_size(text, expected):
+    assert parse_size(text) == expected
+
+
+@pytest.mark.parametrize(
+    "nbytes,expected",
+    [(0, "0B"), (512, "512B"), (1024, "1KB"), (1536, "1.5KB")],
+)
+def test_fmt_size(nbytes, expected):
+    assert fmt_size(nbytes) == expected
+
+
+def test_fmt_size_mb():
+    assert fmt_size(96 * 1024 * 1024) == "96MB"

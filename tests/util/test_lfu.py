@@ -1,0 +1,174 @@
+"""LFU cache semantics: frequency ordering, budgets, aging."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.lfu import LFUCache
+
+
+def test_requires_some_bound():
+    with pytest.raises(ValueError):
+        LFUCache()
+
+
+def test_byte_budget_requires_weigher():
+    with pytest.raises(ValueError):
+        LFUCache(max_bytes=100)
+
+
+def test_basic_put_get():
+    cache = LFUCache(max_entries=4)
+    cache.put("a", 1)
+    assert cache.get("a") == 1
+    assert cache.get("missing") is None
+    assert cache.get("missing", default=-1) == -1
+
+
+def test_replace_updates_value():
+    cache = LFUCache(max_entries=4)
+    cache.put("a", 1)
+    cache.put("a", 2)
+    assert cache.get("a") == 2
+    assert len(cache) == 1
+
+
+def test_evicts_least_frequent():
+    cache = LFUCache(max_entries=2)
+    cache.put("hot", 1)
+    cache.put("cold", 2)
+    cache.get("hot")
+    cache.get("hot")
+    cache.put("new", 3)  # evicts "cold" (freq 1) not "hot" (freq 3)
+    assert "hot" in cache
+    assert "cold" not in cache
+    assert "new" in cache
+
+
+def test_fifo_tiebreak_within_frequency():
+    cache = LFUCache(max_entries=2)
+    cache.put("first", 1)
+    cache.put("second", 2)
+    cache.put("third", 3)  # both at freq 1 -> evict oldest ("first")
+    assert "first" not in cache
+    assert "second" in cache
+
+
+def test_remove():
+    cache = LFUCache(max_entries=2)
+    cache.put("a", 1)
+    assert cache.remove("a") == 1
+    assert cache.remove("a") is None
+    assert len(cache) == 0
+
+
+def test_clear_preserves_stats():
+    cache = LFUCache(max_entries=2)
+    cache.put("a", 1)
+    cache.get("a")
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.stats.hits == 1
+
+
+def test_stats_hit_rate():
+    cache = LFUCache(max_entries=2)
+    cache.put("a", 1)
+    cache.get("a")
+    cache.get("b")
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.hit_rate == 0.5
+
+
+def test_peek_does_not_bump_frequency():
+    cache = LFUCache(max_entries=2)
+    cache.put("a", 1)
+    cache.peek("a")
+    assert cache.frequency("a") == 1
+    cache.get("a")
+    assert cache.frequency("a") == 2
+
+
+def test_byte_budget_eviction():
+    cache = LFUCache(max_bytes=10, weigher=len)
+    cache.put("a", b"xxxx")  # 4 bytes
+    cache.put("b", b"xxxx")  # 8 bytes total
+    cache.put("c", b"xxxx")  # 12 -> evict to fit
+    assert cache.total_weight <= 10
+    assert "c" in cache
+
+
+def test_oversized_entry_not_cached():
+    cache = LFUCache(max_bytes=10, weigher=len)
+    cache.put("big", b"x" * 100)
+    assert "big" not in cache
+    assert len(cache) == 0
+
+
+def test_oversized_replacing_existing_removes_it():
+    cache = LFUCache(max_bytes=10, weigher=len)
+    cache.put("k", b"xx")
+    cache.put("k", b"x" * 100)
+    assert "k" not in cache
+
+
+def test_weight_tracked_on_replace():
+    cache = LFUCache(max_bytes=100, weigher=len)
+    cache.put("k", b"x" * 10)
+    cache.put("k", b"x" * 5)
+    assert cache.total_weight == 5
+
+
+def test_aging_halves_frequencies():
+    cache = LFUCache(max_entries=10, age_interval=5)
+    cache.put("a", 1)
+    for _ in range(4):
+        cache.get("a")  # freq climbs to 5
+    assert cache.frequency("a") == 5
+    cache.put("b", 1)
+    cache.get("b")  # 5th access since last age -> aging triggers
+    assert cache.frequency("a") <= 3
+
+
+def test_eviction_counter():
+    cache = LFUCache(max_entries=1)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.stats.evictions == 1
+
+
+def test_iteration_lists_keys():
+    cache = LFUCache(max_entries=3)
+    for key in ("a", "b", "c"):
+        cache.put(key, key.upper())
+    assert sorted(cache) == ["a", "b", "c"]
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from("abcdefgh"), st.integers(0, 100)),
+        max_size=200,
+    )
+)
+def test_never_exceeds_entry_budget(ops):
+    cache = LFUCache(max_entries=3)
+    for key, value in ops:
+        cache.put(key, value)
+        assert len(cache) <= 3
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from("abcdefgh"), st.binary(max_size=8)),
+        max_size=200,
+    )
+)
+def test_never_exceeds_byte_budget(ops):
+    cache = LFUCache(max_bytes=16, weigher=len)
+    for key, value in ops:
+        cache.put(key, value)
+        assert cache.total_weight <= 16
+        assert cache.total_weight == sum(
+            len(cache.peek(k)) for k in cache
+        )

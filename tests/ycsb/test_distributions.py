@@ -1,0 +1,107 @@
+"""YCSB generators: ranges, skew, determinism."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ycsb.distributions import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    fnv_hash64,
+)
+
+
+def _samples(generator, n=5000):
+    return [generator.next() for _ in range(n)]
+
+
+def test_uniform_in_range():
+    gen = UniformGenerator(100, random.Random(1))
+    assert all(0 <= v < 100 for v in _samples(gen))
+
+
+def test_uniform_roughly_flat():
+    gen = UniformGenerator(10, random.Random(2))
+    counts = Counter(_samples(gen, 10_000))
+    assert max(counts.values()) < 2 * min(counts.values())
+
+
+def test_zipfian_in_range():
+    gen = ZipfianGenerator(1000, random.Random(3))
+    assert all(0 <= v < 1000 for v in _samples(gen))
+
+
+def test_zipfian_head_is_hot():
+    gen = ZipfianGenerator(1000, random.Random(4))
+    counts = Counter(_samples(gen, 20_000))
+    head = sum(counts[i] for i in range(10))
+    assert head > 0.4 * 20_000  # top-1% of items gets >40% of accesses
+
+
+def test_zipfian_rank_ordering():
+    gen = ZipfianGenerator(1000, random.Random(5))
+    counts = Counter(_samples(gen, 50_000))
+    assert counts[0] > counts[10] > counts.get(500, 0)
+
+
+def test_scrambled_zipfian_spreads_hot_keys():
+    gen = ScrambledZipfianGenerator(1000, random.Random(6))
+    counts = Counter(_samples(gen, 20_000))
+    hottest = counts.most_common(3)
+    # Still skewed...
+    assert hottest[0][1] > 20_000 / 1000 * 5
+    # ...but the hottest items are not clustered at 0,1,2.
+    assert set(dict(hottest)) != {0, 1, 2}
+
+
+def test_latest_favours_recent():
+    gen = LatestGenerator(1000, random.Random(7))
+    samples = _samples(gen, 10_000)
+    assert sum(1 for v in samples if v >= 990) > 0.4 * len(samples)
+
+
+def test_latest_grow_shifts_window():
+    gen = LatestGenerator(100, random.Random(8))
+    for _ in range(50):
+        gen.grow()
+    assert gen.item_count == 150
+    assert all(0 <= v < 150 for v in _samples(gen, 1000))
+    assert max(_samples(gen, 2000)) >= 140
+
+
+def test_zipfian_grow_matches_fresh():
+    grown = ZipfianGenerator(100, random.Random(9))
+    grown.grow_to(200)
+    fresh = ZipfianGenerator(200, random.Random(9))
+    assert grown._zetan == pytest.approx(fresh._zetan)
+    assert grown._eta == pytest.approx(fresh._eta)
+
+
+def test_zipfian_cannot_shrink():
+    gen = ZipfianGenerator(100, random.Random(10))
+    with pytest.raises(ConfigurationError):
+        gen.grow_to(50)
+
+
+def test_determinism_given_seed():
+    a = ZipfianGenerator(500, random.Random(42))
+    b = ZipfianGenerator(500, random.Random(42))
+    assert _samples(a, 100) == _samples(b, 100)
+
+
+def test_invalid_counts():
+    with pytest.raises(ConfigurationError):
+        UniformGenerator(0, random.Random(1))
+    with pytest.raises(ConfigurationError):
+        ZipfianGenerator(0, random.Random(1))
+
+
+def test_fnv_hash_is_stable_and_spreads():
+    assert fnv_hash64(1) == fnv_hash64(1)
+    assert fnv_hash64(1) != fnv_hash64(2)
+    low_bits = {fnv_hash64(i) % 100 for i in range(200)}
+    assert len(low_bits) > 50

@@ -1,0 +1,96 @@
+"""Workload specs and trace generation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ycsb.workload import (
+    INSERT,
+    READ,
+    UPDATE,
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WORKLOAD_C,
+    WORKLOAD_D,
+    WorkloadSpec,
+    generate_trace,
+    key_name,
+)
+
+
+def _small(spec, records=200, ops=1000):
+    return spec.scaled(record_count=records, operation_count=ops)
+
+
+def test_stock_workload_proportions():
+    assert WORKLOAD_A.read_proportion == 0.5
+    assert WORKLOAD_B.read_proportion == 0.95
+    assert WORKLOAD_C.read_proportion == 1.0
+    assert WORKLOAD_D.insert_proportion == 0.05
+    assert WORKLOAD_D.distribution == "latest"
+
+
+def test_paper_defaults():
+    assert WORKLOAD_A.record_count == 100_000
+    assert WORKLOAD_A.operation_count == 100_000
+    assert WORKLOAD_A.value_size == 1024
+
+
+def test_bad_proportions_rejected():
+    with pytest.raises(ConfigurationError):
+        WorkloadSpec("X", read_proportion=0.5, update_proportion=0.2)
+
+
+def test_trace_mix_matches_proportions():
+    trace = generate_trace(_small(WORKLOAD_A), seed=1)
+    reads = sum(1 for op in trace.operations if op.op == READ)
+    assert 0.45 < reads / len(trace) < 0.55
+
+
+def test_workload_c_is_read_only():
+    trace = generate_trace(_small(WORKLOAD_C), seed=2)
+    assert all(op.op == READ for op in trace.operations)
+
+
+def test_workload_d_inserts_fresh_keys():
+    trace = generate_trace(_small(WORKLOAD_D), seed=3)
+    inserts = [op for op in trace.operations if op.op == INSERT]
+    assert inserts
+    load_set = set(trace.load_keys)
+    assert all(op.key not in load_set for op in inserts)
+    # Inserted keys are distinct and sequential.
+    assert len({op.key for op in inserts}) == len(inserts)
+
+
+def test_update_ops_carry_payload_size():
+    trace = generate_trace(_small(WORKLOAD_A), seed=4)
+    updates = [op for op in trace.operations if op.op == UPDATE]
+    assert all(op.value_size == 1024 for op in updates)
+    reads = [op for op in trace.operations if op.op == READ]
+    assert all(op.value_size == 0 for op in reads)
+
+
+def test_trace_keys_within_records():
+    trace = generate_trace(_small(WORKLOAD_A), seed=5)
+    load_set = set(trace.load_keys)
+    for op in trace.operations:
+        if op.op != INSERT:
+            assert op.key in load_set
+
+
+def test_trace_deterministic_by_seed():
+    a = generate_trace(_small(WORKLOAD_A), seed=9)
+    b = generate_trace(_small(WORKLOAD_A), seed=9)
+    assert a.operations == b.operations
+    c = generate_trace(_small(WORKLOAD_A), seed=10)
+    assert a.operations != c.operations
+
+
+def test_scaled_override():
+    spec = WORKLOAD_A.scaled(value_size=128, operation_count=10)
+    assert spec.value_size == 128
+    assert WORKLOAD_A.value_size == 1024  # original untouched
+
+
+def test_key_name_format():
+    assert key_name(7) == "user000000000007"
+    assert len(key_name(99_999)) == len("user") + 12
