@@ -54,6 +54,9 @@ def main(argv: list[str]) -> int:
         for figure in figures:
             print()
             print(figure.render())
+            breakdown = figure.render_breakdown()
+            if breakdown:
+                print(breakdown)
             path = save_figure(figure)
             print(f"  [saved {path}]")
         print(f"  [{name}: {time.time() - started:.1f}s wall-clock]")

@@ -45,6 +45,9 @@ class ExperimentResult:
     operations: int
     denied: int = 0
     errors: int = 0
+    #: Charged virtual service seconds per model layer (measurement
+    #: window only); see :meth:`repro.bench.model.SystemModel.breakdown`.
+    breakdown: dict = field(default_factory=dict)
 
     @property
     def kiops(self) -> float:
@@ -189,10 +192,13 @@ def run_point(
     measure_ops: int = 4000,
     warmup_ops: int = 500,
     seed: int = 99,
+    telemetry=None,
 ) -> ExperimentResult:
     """Simulate ``num_clients`` closed-loop clients; measure one point."""
     env = Environment()
-    model = SystemModel(env, loaded.controller, loaded.config, seed=seed)
+    model = SystemModel(
+        env, loaded.controller, loaded.config, seed=seed, telemetry=telemetry
+    )
     operations = itertools.cycle(loaded.trace.operations)
     total_target = warmup_ops + measure_ops
     state = {"completed": 0, "denied": 0, "errors": 0}
@@ -214,6 +220,7 @@ def run_point(
             if state["completed"] == warmup_ops:
                 model.meter.open_window(env.now)
                 model.latency.reset()
+                model.reset_breakdown()
             if state["completed"] == total_target and not stop.triggered:
                 stop.succeed()
 
@@ -232,6 +239,7 @@ def run_point(
         operations=measure_ops,
         denied=state["denied"],
         errors=state["errors"],
+        breakdown=model.breakdown(),
     )
 
 

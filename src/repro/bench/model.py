@@ -37,23 +37,43 @@ from repro.core.effects import (
 from repro.core.ssdcache import SSD_READ, SSD_WRITE
 from repro.kinetic.timing import OP_DELETE, OP_READ, OP_WRITE
 from repro.sim import Environment, Histogram, Resource, ThroughputMeter
+from repro.telemetry import NULL_TELEMETRY, MetricFamily, Sample
+
+#: Layers of the request lifecycle whose charged service time the model
+#: accounts separately; ``SystemModel.breakdown()`` reports these keys.
+LAYERS = (
+    "client_net",
+    "cpu",
+    "ssd",
+    "drive_net",
+    "enclosure",
+    "drive_service",
+)
 
 
 class DriveStation:
     """Virtual-time service model for one backend drive."""
 
-    def __init__(self, env: Environment, config: SystemConfig, seed: int):
+    def __init__(
+        self,
+        env: Environment,
+        config: SystemConfig,
+        seed: int,
+        layer_seconds: dict | None = None,
+    ):
         self.env = env
         self.timing = config.drive_timing
         self.resource = Resource(env, capacity=self.timing.concurrency)
         self._rng = random.Random(seed)
+        self._layer_seconds = layer_seconds
 
     def service(self, op: str, nbytes: int):
         yield self.resource.acquire()
         try:
-            yield self.env.timeout(
-                self.timing.service_time(op, nbytes, self._rng)
-            )
+            service_time = self.timing.service_time(op, nbytes, self._rng)
+            if self._layer_seconds is not None:
+                self._layer_seconds["drive_service"] += service_time
+            yield self.env.timeout(service_time)
         finally:
             self.resource.release()
 
@@ -67,6 +87,7 @@ class SystemModel:
         controller,
         config: SystemConfig,
         seed: int = 1234,
+        telemetry=None,
     ):
         self.env = env
         self.controller = controller
@@ -77,14 +98,58 @@ class SystemModel:
         self.enclosure = (
             Resource(env, capacity=1) if config.enclosure_per_op else None
         )
+        self.layer_seconds: dict[str, float] = dict.fromkeys(LAYERS, 0.0)
         self.drives = [
-            DriveStation(env, config, seed=seed + index)
+            DriveStation(
+                env, config, seed=seed + index,
+                layer_seconds=self.layer_seconds,
+            )
             for index in range(config.num_drives)
         ]
         self.ssd = Resource(env, capacity=config.ssd_concurrency)
         self.latency = Histogram(min_value=1e-5, max_value=50.0, growth=1.04)
         self.meter = ThroughputMeter()
         self.cpu_seconds_charged = 0.0
+        self.telemetry = telemetry or NULL_TELEMETRY
+        if self.telemetry.enabled:
+            self.telemetry.tracer.set_virtual_clock(lambda: env.now)
+            self.telemetry.register_callback(self._layer_metrics)
+
+    def _charge(self, layer: str, seconds: float) -> float:
+        """Account ``seconds`` of service time to ``layer``."""
+        self.layer_seconds[layer] += seconds
+        return seconds
+
+    # -- per-layer accounting ----------------------------------------------
+
+    def breakdown(self) -> dict:
+        """Charged service seconds per layer since the last reset.
+
+        These are *service* charges, not wall residence: queueing delay
+        at a contended resource is visible in latency percentiles but
+        not attributed here, so the dict answers "where would the next
+        second of capacity help" rather than "where did requests wait".
+        """
+        return dict(self.layer_seconds)
+
+    def reset_breakdown(self) -> None:
+        for layer in self.layer_seconds:
+            self.layer_seconds[layer] = 0.0
+
+    def _layer_metrics(self):
+        yield MetricFamily(
+            name="pesos_bench_layer_seconds",
+            kind="gauge",
+            help="Virtual service seconds charged per model layer.",
+            samples=[
+                Sample(
+                    name="pesos_bench_layer_seconds",
+                    labels={"layer": layer},
+                    value=seconds,
+                )
+                for layer, seconds in sorted(self.layer_seconds.items())
+            ],
+        )
 
     # -- cost derivation ---------------------------------------------------
 
@@ -165,9 +230,11 @@ class SystemModel:
         started = env.now
 
         # Client -> controller: latency plus serialized transfer.
-        yield env.timeout(config.client_net_latency)
+        yield env.timeout(self._charge("client_net", config.client_net_latency))
         yield self.client_link.acquire()
-        yield env.timeout(request_bytes / config.client_bandwidth)
+        yield env.timeout(
+            self._charge("client_net", request_bytes / config.client_bandwidth)
+        )
         self.client_link.release()
 
         # Functional execution (atomic) + effect-derived costs.
@@ -182,41 +249,56 @@ class SystemModel:
         # Controller CPU: split around the backend visits (2/3 before,
         # 1/3 for response marshalling after).
         yield self.cpu.acquire()
-        yield env.timeout(cpu_time * 2 / 3)
+        yield env.timeout(self._charge("cpu", cpu_time * 2 / 3))
         self.cpu.release()
         self.cpu_seconds_charged += cpu_time
 
         for op, _nbytes in ssd_ops:
             yield self.ssd.acquire()
             yield env.timeout(
-                config.ssd_read_seconds
-                if op == SSD_READ
-                else config.ssd_write_seconds
+                self._charge(
+                    "ssd",
+                    config.ssd_read_seconds
+                    if op == SSD_READ
+                    else config.ssd_write_seconds,
+                )
             )
             self.ssd.release()
 
         for op, drive_index, nbytes in disk_ops:
-            yield env.timeout(config.drive_net_latency)
+            yield env.timeout(
+                self._charge("drive_net", config.drive_net_latency)
+            )
             yield self.drive_link.acquire()
-            yield env.timeout(max(64, nbytes) / config.drive_bandwidth)
+            yield env.timeout(
+                self._charge(
+                    "drive_net", max(64, nbytes) / config.drive_bandwidth
+                )
+            )
             self.drive_link.release()
             if self.enclosure is not None:
                 yield self.enclosure.acquire()
-                yield env.timeout(config.enclosure_per_op)
+                yield env.timeout(
+                    self._charge("enclosure", config.enclosure_per_op)
+                )
                 self.enclosure.release()
             yield from self.drives[drive_index % len(self.drives)].service(
                 op, nbytes
             )
 
         yield self.cpu.acquire()
-        yield env.timeout(cpu_time / 3)
+        yield env.timeout(self._charge("cpu", cpu_time / 3))
         self.cpu.release()
 
         # Controller -> client.
         yield self.client_link.acquire()
-        yield env.timeout(response_bytes / config.client_bandwidth)
+        yield env.timeout(
+            self._charge(
+                "client_net", response_bytes / config.client_bandwidth
+            )
+        )
         self.client_link.release()
-        yield env.timeout(config.client_net_latency)
+        yield env.timeout(self._charge("client_net", config.client_net_latency))
 
         self.latency.add(env.now - started)
         self.meter.record(request_bytes + response_bytes)

@@ -80,11 +80,46 @@ class FigureResult:
             "paper_notes": self.paper_notes,
             "series": {
                 name: [
-                    {"x": x, **result.row()} for x, result in points
+                    {
+                        "x": x,
+                        **result.row(),
+                        **(
+                            {"breakdown": result.breakdown}
+                            if getattr(result, "breakdown", None)
+                            else {}
+                        ),
+                    }
+                    for x, result in points
                 ]
                 for name, points in self.series.items()
             },
         }
+
+    def render_breakdown(self) -> str:
+        """Per-layer virtual-time shares for the peak point of each series.
+
+        Empty string when no point carries a breakdown (e.g. aggregated
+        figures), so callers can print the result unconditionally.
+        """
+        lines = []
+        for name, points in self.series.items():
+            best = max(points, key=lambda pair: pair[1].throughput)
+            x, result = best
+            breakdown = getattr(result, "breakdown", None)
+            if not breakdown:
+                continue
+            total = sum(breakdown.values())
+            if not total:
+                continue
+            shares = ", ".join(
+                f"{layer} {seconds / total:.0%}"
+                for layer, seconds in sorted(
+                    breakdown.items(), key=lambda item: -item[1]
+                )
+                if seconds / total >= 0.005
+            )
+            lines.append(f"  layers[{name}@{x}]: {shares}")
+        return "\n".join(lines)
 
 
 def format_table(header: list, rows: list) -> str:

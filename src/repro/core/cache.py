@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.effects import NullRecorder
+from repro.telemetry import NULL_TELEMETRY
+from repro.telemetry.metrics import MetricFamily, Sample
 from repro.util.lfu import LFUCache
 
 POLICY_REGION = "policy"
@@ -36,9 +38,24 @@ class CacheConfig:
 class CacheManager:
     """The controller's cache regions plus effect reporting."""
 
-    def __init__(self, config: CacheConfig | None = None, effects=None):
+    def __init__(
+        self, config: CacheConfig | None = None, effects=None, telemetry=None
+    ):
         self.config = config or CacheConfig()
         self.effects = effects or NullRecorder()
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self._m_hits = self.telemetry.counter(
+            "pesos_cache_hits_total",
+            "Enclave cache hits, by region.",
+            ("region",),
+        )
+        self._m_misses = self.telemetry.counter(
+            "pesos_cache_misses_total",
+            "Enclave cache misses, by region.",
+            ("region",),
+        )
+        if self.telemetry.enabled:
+            self.telemetry.register_callback(self._derived_metrics)
         self.policies: LFUCache = LFUCache(
             max_entries=self.config.policy_entries,
             max_bytes=self.config.policy_bytes,
@@ -58,9 +75,13 @@ class CacheManager:
 
     # -- region accessors with effect reporting ---------------------------
 
+    def _record(self, region: str, hit: bool) -> None:
+        self.effects.record_cache(region, hit)
+        (self._m_hits if hit else self._m_misses).labels(region).inc()
+
     def get_policy(self, policy_id: str):
         policy = self.policies.get(policy_id)
-        self.effects.record_cache(POLICY_REGION, policy is not None)
+        self._record(POLICY_REGION, policy is not None)
         return policy
 
     def put_policy(self, policy_id: str, policy) -> None:
@@ -68,7 +89,7 @@ class CacheManager:
 
     def get_object(self, cache_key: str):
         value = self.objects.get(cache_key)
-        self.effects.record_cache(OBJECT_REGION, value is not None)
+        self._record(OBJECT_REGION, value is not None)
         return value
 
     def put_object(self, cache_key: str, value: bytes) -> None:
@@ -79,7 +100,7 @@ class CacheManager:
 
     def get_meta(self, key: str):
         meta = self.keys.get(key)
-        self.effects.record_cache(KEY_REGION, meta is not None)
+        self._record(KEY_REGION, meta is not None)
         return meta
 
     def put_meta(self, key: str, meta) -> None:
@@ -104,3 +125,45 @@ class CacheManager:
             OBJECT_REGION: self.objects.stats,
             KEY_REGION: self.keys.stats,
         }
+
+    def _derived_metrics(self):
+        """Hit-ratio and occupancy gauges, computed at scrape time."""
+        regions = {
+            POLICY_REGION: self.policies,
+            OBJECT_REGION: self.objects,
+            KEY_REGION: self.keys,
+        }
+        hits = self._m_hits.series()
+        misses = self._m_misses.series()
+        ratio_samples = []
+        byte_samples = []
+        for region, cache in regions.items():
+            key = (region,)
+            region_hits = hits.get(key, 0.0)
+            total = region_hits + misses.get(key, 0.0)
+            ratio_samples.append(
+                Sample(
+                    "pesos_cache_hit_ratio",
+                    {"region": region},
+                    region_hits / total if total else 0.0,
+                )
+            )
+            byte_samples.append(
+                Sample(
+                    "pesos_cache_bytes",
+                    {"region": region},
+                    cache.total_weight,
+                )
+            )
+        yield MetricFamily(
+            name="pesos_cache_hit_ratio",
+            kind="gauge",
+            help="Enclave cache hit ratio since start, by region.",
+            samples=ratio_samples,
+        )
+        yield MetricFamily(
+            name="pesos_cache_bytes",
+            kind="gauge",
+            help="Bytes resident per enclave cache region.",
+            samples=byte_samples,
+        )

@@ -17,12 +17,16 @@ controller-only admin identity.
 from __future__ import annotations
 
 import secrets as _secrets
+import time as _time
 from dataclasses import dataclass, field
 
 from repro.core.asyncapi import AsyncTracker
 from repro.core.cache import CacheConfig, CacheManager
 from repro.core.effects import (
     COPY,
+    DISK_DELETE,
+    DISK_READ,
+    DISK_WRITE,
     EffectsRecorder,
     POLICY_CHECK,
     POLICY_COMPILE,
@@ -30,6 +34,7 @@ from repro.core.effects import (
 )
 from repro.core.request import Request, Response
 from repro.core.session import Session, SessionManager
+from repro.core.ssdcache import SSD_READ, SSD_WRITE
 from repro.core.store import ObjectStore, StoreBackedView, StoredMeta
 from repro.core.txn import Transaction, VllManager
 from repro.crypto.aead import StreamAead
@@ -45,6 +50,8 @@ from repro.policy.binary import CompiledPolicy
 from repro.policy.compiler import compile_source
 from repro.policy.context import EvalContext, VersionInfo
 from repro.policy.interpreter import PolicyInterpreter
+from repro.telemetry import NULL_TELEMETRY
+from repro.telemetry.metrics import MetricFamily, Sample
 
 
 @dataclass
@@ -141,10 +148,15 @@ class PesosController:
         authority_keys: dict | None = None,
         effects: EffectsRecorder | None = None,
         signing_keys=None,
+        telemetry=None,
     ):
         self.config = config or ControllerConfig()
-        self.effects = effects or EffectsRecorder()
-        self.caches = CacheManager(self.config.cache, self.effects)
+        self.telemetry = telemetry or NULL_TELEMETRY
+        registry = self.telemetry.registry if self.telemetry.enabled else None
+        self.effects = effects or EffectsRecorder(registry=registry)
+        self.caches = CacheManager(
+            self.config.cache, self.effects, telemetry=self.telemetry
+        )
         self.sessions = SessionManager(self.config.session_expiry)
         self.async_tracker = AsyncTracker()
         self.interpreter = PolicyInterpreter()
@@ -156,11 +168,14 @@ class PesosController:
             effects=self.effects,
             aead_factory=self.config.aead_factory,
             version_metadata_window=self.config.version_metadata_window,
+            telemetry=self.telemetry,
         )
         #: Public keys of external authorities (time servers, group
         #: CAs) by fingerprint, available to certificateSays.
         self.authority_keys = dict(authority_keys or {})
-        self.txns = VllManager(self._execute_transaction)
+        self.txns = VllManager(
+            self._execute_transaction, telemetry=self.telemetry
+        )
         self.requests_handled = 0
         self._tx_session_now: tuple = (None, 0.0)
         #: Controller identity used to sign storage attestations (§1:
@@ -176,7 +191,35 @@ class PesosController:
             self.ssd_cache = SsdCacheTier(
                 max_entries=self.config.ssd_cache_entries,
                 effects=self.effects,
+                telemetry=self.telemetry,
             )
+        self._m_ops = self.telemetry.counter(
+            "pesos_controller_requests_total",
+            "Requests handled by the controller, by method and outcome.",
+            ("method", "outcome"),
+        )
+        self._m_denied = self.telemetry.counter(
+            "pesos_policy_denials_total",
+            "Requests refused by policy evaluation, by operation.",
+            ("operation",),
+        )
+        self._h_policy_check = self.telemetry.histogram(
+            "pesos_policy_check_seconds",
+            "Wall time evaluating one compiled policy.",
+        )
+        self._h_policy_compile = self.telemetry.histogram(
+            "pesos_policy_compile_seconds",
+            "Wall time compiling policy source to the binary format.",
+        )
+        self._m_transitions = self.telemetry.counter(
+            "pesos_sgx_transitions_total",
+            "Estimated enclave transitions (async syscall submissions) "
+            "per the cost model: 2 per client socket pair, 2 per drive "
+            "operation, 1 per SSD-tier access.",
+            ("reason",),
+        )
+        if self.telemetry.enabled:
+            self.telemetry.register_callback(self._derived_metrics)
 
     # ------------------------------------------------------------------
     # Bootstrap
@@ -191,6 +234,7 @@ class PesosController:
         cluster,
         config: ControllerConfig | None = None,
         authority_keys: dict | None = None,
+        telemetry=None,
     ) -> "PesosController":
         """Full §3.1 bootstrap: attest, connect, lock out everyone else."""
         from repro.sgx.attestation import attest_and_provision
@@ -215,6 +259,7 @@ class PesosController:
             storage_key=storage_key,
             config=config,
             authority_keys=authority_keys,
+            telemetry=telemetry,
         )
 
     # ------------------------------------------------------------------
@@ -226,15 +271,88 @@ class PesosController:
     ) -> Response:
         """Execute one authenticated client request."""
         self.requests_handled += 1
-        try:
-            request.validate()
-            session = self.sessions.connect(fingerprint, now)
-            session.touch(now)
-            if request.asynchronous:
-                return self._handle_async(request, session, now)
-            return self._dispatch(request, session, now)
-        except PesosError as exc:
-            return Response(status=exc.status, error=str(exc))
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            # Uninstrumented fast path: identical to the historical
+            # request loop, so benchmark numbers are unaffected.
+            try:
+                request.validate()
+                session = self.sessions.connect(fingerprint, now)
+                session.touch(now)
+                if request.asynchronous:
+                    return self._handle_async(request, session, now)
+                return self._dispatch(request, session, now)
+            except PesosError as exc:
+                return Response(status=exc.status, error=str(exc))
+        events_before = len(self.effects.events)
+        with telemetry.span(
+            "controller.handle", method=request.method, now=now
+        ) as span:
+            if request.key:
+                span.set("key", request.key)
+            try:
+                request.validate()
+                session = self.sessions.connect(fingerprint, now)
+                session.touch(now)
+                if request.asynchronous:
+                    response = self._handle_async(request, session, now)
+                else:
+                    response = self._dispatch(request, session, now)
+            except PesosError as exc:
+                response = Response(status=exc.status, error=str(exc))
+            span.set("status", response.status)
+            if response.ok:
+                outcome = "ok"
+            elif response.status == 403:
+                outcome = "denied"
+            else:
+                outcome = "error"
+            self._m_ops.labels(request.method, outcome).inc()
+            self._count_transitions(events_before)
+        return response
+
+    def _count_transitions(self, events_before: int) -> None:
+        """Estimate enclave transitions from this request's effects.
+
+        Mirrors the benchmark cost model's syscall accounting
+        (:meth:`repro.bench.model.SystemModel._derive_costs`): one
+        send/recv pair on the client socket, one pair per backend drive
+        operation, one syscall per SSD-tier access.
+        """
+        disk_ops = 0
+        ssd_ops = 0
+        for event in self.effects.events[events_before:]:
+            kind = event[0]
+            if kind in (DISK_READ, DISK_WRITE, DISK_DELETE):
+                disk_ops += 1
+            elif kind in (SSD_READ, SSD_WRITE):
+                ssd_ops += 1
+        self._m_transitions.labels("client_io").inc(2)
+        if disk_ops:
+            self._m_transitions.labels("drive_io").inc(2 * disk_ops)
+        if ssd_ops:
+            self._m_transitions.labels("ssd_io").inc(ssd_ops)
+
+    def _derived_metrics(self):
+        """Lazy gauges collected at scrape time."""
+        yield MetricFamily(
+            name="pesos_sessions_active",
+            kind="gauge",
+            help="Client sessions currently tracked.",
+            samples=[Sample("pesos_sessions_active", {}, len(self.sessions))],
+        )
+        yield MetricFamily(
+            name="pesos_enclave_cache_bytes",
+            kind="gauge",
+            help="Total bytes held across enclave cache regions.",
+            samples=[
+                Sample(
+                    "pesos_enclave_cache_bytes",
+                    {},
+                    self.caches.memory_in_use(),
+                )
+            ],
+        )
 
     def _dispatch(
         self, request: Request, session: Session, now: float
@@ -336,9 +454,16 @@ class PesosController:
     ) -> None:
         if policy is None or not self.config.enforce_policies:
             return
-        decision = self.interpreter.evaluate(policy, operation, ctx)
+        if self.telemetry.enabled:
+            started = _time.perf_counter()
+            with self.telemetry.span("policy.check", operation=operation):
+                decision = self.interpreter.evaluate(policy, operation, ctx)
+            self._h_policy_check.observe(_time.perf_counter() - started)
+        else:
+            decision = self.interpreter.evaluate(policy, operation, ctx)
         self.effects.record(POLICY_CHECK, decision.predicates_evaluated)
         if not decision.granted:
+            self._m_denied.labels(operation).inc()
             raise PolicyDenied(
                 f"policy denies {operation} on {ctx.this_id or ctx.log_id}"
             )
@@ -517,7 +642,13 @@ class PesosController:
         self, request: Request, session: Session, now: float
     ) -> Response:
         source = request.value.decode()
-        policy = compile_source(source)
+        if self.telemetry.enabled:
+            started = _time.perf_counter()
+            with self.telemetry.span("policy.compile", bytes=len(source)):
+                policy = compile_source(source)
+            self._h_policy_compile.observe(_time.perf_counter() - started)
+        else:
+            policy = compile_source(source)
         self.effects.record(POLICY_COMPILE, policy.size_bytes())
         policy_id = policy.policy_hash()
         self.store.write_policy(policy_id, policy.to_bytes())

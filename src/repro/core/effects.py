@@ -5,13 +5,21 @@ to know what each request *did* — disk operations, bytes copied,
 cache hits, policy work — to charge virtual time.  Components record
 effects here; the simulation drains the recorder after each request.
 
-Recording is deliberately cheap (a tuple append) because it sits on
-the hot path of 100k-operation benchmark runs.
+Recording is deliberately cheap (a tuple append plus one counter
+increment) because it sits on the hot path of 100k-operation benchmark
+runs.
+
+Running totals live in the telemetry metrics registry: each recorder
+owns (or is handed) a :class:`~repro.telemetry.metrics.MetricsRegistry`
+and keeps per-kind totals in a labeled ``pesos_effects_total`` counter,
+so one ``GET /_metrics`` scrape covers effect accounting alongside the
+rest of the system.  The historical ``totals`` mapping API survives as
+a thin view over that counter.
 """
 
 from __future__ import annotations
 
-from collections import Counter
+from repro.telemetry.metrics import MetricsRegistry
 
 DISK_READ = "disk_read"
 DISK_WRITE = "disk_write"
@@ -27,18 +35,67 @@ COPY = "copy"
 LOG_APPEND = "log_append"
 
 
+class _TotalsView:
+    """Counter-compatible mapping over ``pesos_effects_total``.
+
+    Kept so pre-telemetry callers (``effects.totals[DISK_READ]``,
+    ``.get``, ``.clear``) work unchanged while the registry holds the
+    canonical values.
+    """
+
+    __slots__ = ("_counter",)
+
+    def __init__(self, counter) -> None:
+        self._counter = counter
+
+    def __getitem__(self, kind: str) -> float:
+        child = self._counter._children.get((kind,))
+        return child.value if child is not None else 0
+
+    def get(self, kind: str, default=0):
+        child = self._counter._children.get((kind,))
+        return child.value if child is not None else default
+
+    def __contains__(self, kind: str) -> bool:
+        return (kind,) in self._counter._children
+
+    def __iter__(self):
+        return (key[0] for key in self._counter._children)
+
+    def __len__(self) -> int:
+        return len(self._counter._children)
+
+    def items(self):
+        return [
+            (key[0], child.value)
+            for key, child in self._counter._children.items()
+        ]
+
+    def clear(self) -> None:
+        self._counter.reset()
+
+    def __repr__(self) -> str:
+        return f"_TotalsView({dict(self.items())!r})"
+
+
 class EffectsRecorder:
     """Collects effect tuples for the request in flight."""
 
-    __slots__ = ("events", "totals")
+    __slots__ = ("events", "totals", "registry", "_kinds")
 
-    def __init__(self) -> None:
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
         self.events: list[tuple] = []
-        self.totals: Counter = Counter()
+        self.registry = registry or MetricsRegistry()
+        self._kinds = self.registry.counter(
+            "pesos_effects_total",
+            "Side-effect events recorded per request path, by kind.",
+            ("kind",),
+        )
+        self.totals = _TotalsView(self._kinds)
 
     def record(self, kind: str, *detail) -> None:
         self.events.append((kind, *detail))
-        self.totals[kind] += 1
+        self._kinds.labels(kind).inc()
 
     def drain(self) -> list[tuple]:
         """Return and clear the in-flight event list (totals persist)."""
@@ -54,14 +111,14 @@ class EffectsRecorder:
     def record_cache(self, region: str, hit: bool) -> None:
         kind = CACHE_HIT if hit else CACHE_MISS
         self.events.append((kind, region))
-        self.totals[f"{kind}:{region}"] += 1
+        self._kinds.labels(f"{kind}:{region}").inc()
 
 
 class NullRecorder:
     """Drop-in no-op recorder for pure functional use."""
 
     __slots__ = ()
-    events: list = []
+    events: tuple = ()
 
     def record(self, kind: str, *detail) -> None:
         pass

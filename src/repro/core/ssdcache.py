@@ -34,6 +34,8 @@ from dataclasses import dataclass, field
 
 from repro.crypto.aead import StreamAead
 from repro.errors import IntegrityError
+from repro.telemetry import NULL_TELEMETRY
+from repro.telemetry.metrics import MetricFamily, Sample
 from repro.util.lfu import LFUCache
 
 SSD_READ = "ssd_read"
@@ -100,12 +102,21 @@ class SsdCacheTier:
         max_entries: int = 65536,
         key: bytes | None = None,
         effects=None,
+        telemetry=None,
     ):
         self.device = device or SimulatedSsd()
         self._aead = StreamAead(key or secrets.token_bytes(32))
         self._records: LFUCache = LFUCache(max_entries=max_entries)
         self.stats = SsdCacheStats()
         self._effects = effects
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self._m_events = self.telemetry.counter(
+            "pesos_ssd_cache_events_total",
+            "Untrusted-SSD cache tier events, by kind.",
+            ("event",),
+        )
+        if self.telemetry.enabled:
+            self.telemetry.register_callback(self._derived_metrics)
 
     def __len__(self) -> int:
         return len(self._records)
@@ -128,6 +139,7 @@ class SsdCacheTier:
             ),
         )
         self.stats.inserts += 1
+        self._m_events.labels("insert").inc()
         if self._effects is not None:
             self._effects.record(SSD_WRITE, len(blob))
 
@@ -141,6 +153,7 @@ class SsdCacheTier:
         record = self._records.get(key)
         if record is None:
             self.stats.misses += 1
+            self._m_events.labels("miss").inc()
             return None
         blob = self.device.read(key)
         if self._effects is not None and blob is not None:
@@ -149,6 +162,7 @@ class SsdCacheTier:
             # The untrusted side lost (or withheld) the blob.
             self._records.remove(key)
             self.stats.misses += 1
+            self._m_events.labels("miss").inc()
             return None
         if hashlib.sha256(blob).digest() != record.blob_hash:
             self._poisoned(key)
@@ -159,6 +173,7 @@ class SsdCacheTier:
             self._poisoned(key)
             return None
         self.stats.hits += 1
+        self._m_events.labels("hit").inc()
         return value
 
     def invalidate(self, key: str) -> None:
@@ -168,5 +183,28 @@ class SsdCacheTier:
     def _poisoned(self, key: str) -> None:
         self.stats.integrity_failures += 1
         self.stats.misses += 1
+        self._m_events.labels("integrity_failure").inc()
+        self._m_events.labels("miss").inc()
         self._records.remove(key)
         self.device.discard(key)
+
+    def _derived_metrics(self):
+        """Hit-ratio and enclave-footprint gauges at scrape time."""
+        total = self.stats.hits + self.stats.misses
+        ratio = self.stats.hits / total if total else 0.0
+        yield MetricFamily(
+            name="pesos_ssd_cache_hit_ratio",
+            kind="gauge",
+            help="SSD cache tier hit ratio since start.",
+            samples=[Sample("pesos_ssd_cache_hit_ratio", {}, ratio)],
+        )
+        yield MetricFamily(
+            name="pesos_ssd_cache_enclave_bytes",
+            kind="gauge",
+            help="In-enclave freshness-table footprint of the SSD tier.",
+            samples=[
+                Sample(
+                    "pesos_ssd_cache_enclave_bytes", {}, self.enclave_bytes()
+                )
+            ],
+        )

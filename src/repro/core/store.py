@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import hashlib
 import secrets
+import time as _time
 from dataclasses import dataclass, field
 
 from repro.core.effects import (
@@ -36,6 +37,7 @@ from repro.crypto.aead import StreamAead
 from repro.errors import ConfigurationError, DriveOffline, KineticNotFound
 from repro.policy.context import ObjectView, VersionInfo, parse_content_tuples
 from repro.kinetic.protocol import decode_fields, encode_fields
+from repro.telemetry import NULL_TELEMETRY
 
 
 @dataclass
@@ -121,6 +123,7 @@ class ObjectStore:
         effects=None,
         aead_factory=StreamAead,
         version_metadata_window: int | None = None,
+        telemetry=None,
     ):
         if not clients:
             raise ConfigurationError("store needs at least one drive client")
@@ -135,6 +138,17 @@ class ObjectStore:
         self.version_metadata_window = version_metadata_window
         self.effects = effects or NullRecorder()
         self._aead = aead_factory(storage_key)
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self._h_drive_op = self.telemetry.histogram(
+            "pesos_drive_op_seconds",
+            "Wall time of one backend drive operation (incl. failover).",
+            ("op",),
+        )
+        self._m_drive_bytes = self.telemetry.counter(
+            "pesos_drive_bytes_total",
+            "Encrypted bytes exchanged with drives, by direction.",
+            ("direction",),
+        )
 
     # -- placement and failover -------------------------------------------
 
@@ -142,42 +156,67 @@ class ObjectStore:
         return placement(key, len(self.clients), self.replication_factor)
 
     def _read_with_failover(self, object_key: str, disk_key: bytes) -> bytes:
+        instrumented = self.telemetry.enabled
+        started = _time.perf_counter() if instrumented else 0.0
         last_error: Exception | None = None
-        for index in self._replicas(object_key):
-            client = self.clients[index]
-            try:
-                value, _version = client.get(disk_key)
-                self.effects.record(DISK_READ, index, len(value))
-                return value
-            except DriveOffline as exc:
-                last_error = exc
-                continue
+        with self.telemetry.span("kinetic.get", key=object_key):
+            for index in self._replicas(object_key):
+                client = self.clients[index]
+                try:
+                    value, _version = client.get(disk_key)
+                    self.effects.record(DISK_READ, index, len(value))
+                    if instrumented:
+                        self._h_drive_op.labels("read").observe(
+                            _time.perf_counter() - started
+                        )
+                        self._m_drive_bytes.labels("read").inc(len(value))
+                    return value
+                except DriveOffline as exc:
+                    last_error = exc
+                    continue
         raise last_error or KineticNotFound(object_key)
 
     def _write_all_replicas(self, object_key: str, disk_key: bytes,
                             blob: bytes) -> None:
+        instrumented = self.telemetry.enabled
+        started = _time.perf_counter() if instrumented else 0.0
         wrote = 0
-        for index in self._replicas(object_key):
-            client = self.clients[index]
-            try:
-                client.put(disk_key, blob, force=True)
-                self.effects.record(DISK_WRITE, index, len(blob))
-                wrote += 1
-            except DriveOffline:
-                continue
+        with self.telemetry.span(
+            "kinetic.put", key=object_key, bytes=len(blob)
+        ):
+            for index in self._replicas(object_key):
+                client = self.clients[index]
+                try:
+                    client.put(disk_key, blob, force=True)
+                    self.effects.record(DISK_WRITE, index, len(blob))
+                    wrote += 1
+                except DriveOffline:
+                    continue
+        if instrumented:
+            self._h_drive_op.labels("write").observe(
+                _time.perf_counter() - started
+            )
+            self._m_drive_bytes.labels("written").inc(wrote * len(blob))
         if wrote == 0:
             raise DriveOffline(
                 f"no replica of {object_key!r} accepted the write"
             )
 
     def _delete_all_replicas(self, object_key: str, disk_key: bytes) -> None:
-        for index in self._replicas(object_key):
-            client = self.clients[index]
-            try:
-                client.delete(disk_key, force=True)
-                self.effects.record(DISK_DELETE, index, 0)
-            except (DriveOffline, KineticNotFound):
-                continue
+        instrumented = self.telemetry.enabled
+        started = _time.perf_counter() if instrumented else 0.0
+        with self.telemetry.span("kinetic.delete", key=object_key):
+            for index in self._replicas(object_key):
+                client = self.clients[index]
+                try:
+                    client.delete(disk_key, force=True)
+                    self.effects.record(DISK_DELETE, index, 0)
+                except (DriveOffline, KineticNotFound):
+                    continue
+        if instrumented:
+            self._h_drive_op.labels("delete").observe(
+                _time.perf_counter() - started
+            )
 
     # -- encryption ------------------------------------------------------------
 
@@ -229,8 +268,10 @@ class ObjectStore:
     def read_value(self, key: str, version: int) -> bytes:
         slot = self._slot(version)
         aad = b"val:" + key.encode() + b":" + str(slot).encode()
-        blob = self._read_with_failover(key, self.value_key(key, slot))
-        return self._open(blob, aad)
+        with self.telemetry.span("store.read_value", key=key,
+                                 version=version):
+            blob = self._read_with_failover(key, self.value_key(key, slot))
+            return self._open(blob, aad)
 
     def write_value(self, key: str, version: int, value: bytes) -> None:
         slot = self._slot(version)
@@ -248,6 +289,18 @@ class ObjectStore:
     ) -> StoredMeta:
         """Write the next version of an object (content then metadata)."""
         new_version = meta.current_version + 1
+        with self.telemetry.span(
+            "store.store_version",
+            key=meta.key,
+            version=new_version,
+            bytes=len(value),
+        ):
+            return self._store_version(meta, value, policy_hash, new_version)
+
+    def _store_version(
+        self, meta: StoredMeta, value: bytes, policy_hash: str,
+        new_version: int,
+    ) -> StoredMeta:
         self.write_value(meta.key, new_version, value)
         old = meta.latest()
         meta.current_version = new_version

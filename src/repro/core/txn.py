@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import TransactionError
+from repro.telemetry import NULL_TELEMETRY
+from repro.telemetry.metrics import MetricFamily, Sample
 
 OPEN = "open"
 QUEUED = "queued"
@@ -67,7 +69,9 @@ class Transaction:
 class VllManager:
     """Lock table + transaction queue (exclusive locks only)."""
 
-    def __init__(self, executor: Callable[[Transaction], dict]):
+    def __init__(
+        self, executor: Callable[[Transaction], dict], telemetry=None
+    ):
         self._executor = executor
         self._locks: dict[str, int] = {}
         self._queue: deque[Transaction] = deque()
@@ -76,6 +80,18 @@ class VllManager:
         self.executed_immediately = 0
         self.executed_from_queue = 0
         self.aborted = 0
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self._m_outcomes = self.telemetry.counter(
+            "pesos_txn_total",
+            "Transactions finished, by outcome.",
+            ("outcome",),
+        )
+        self._m_queued = self.telemetry.counter(
+            "pesos_txn_queued_total",
+            "Commits that blocked on locks and executed from the queue.",
+        )
+        if self.telemetry.enabled:
+            self.telemetry.register_callback(self._derived_metrics)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -99,6 +115,7 @@ class VllManager:
             raise TransactionError(f"cannot abort {tx.state} transaction")
         tx.state = ABORTED
         self.aborted += 1
+        self._m_outcomes.labels("client_abort").inc()
 
     # -- VLL commit path --------------------------------------------------------
 
@@ -119,15 +136,20 @@ class VllManager:
         return tx
 
     def _run(self, tx: Transaction) -> None:
-        try:
-            tx.results = self._executor(tx)
-            tx.state = COMMITTED
-        except TransactionError as exc:
-            tx.state = ABORTED
-            tx.error = str(exc)
-            self.aborted += 1
-        finally:
-            self._unlock(tx)
+        with self.telemetry.span(
+            "txn.execute", txid=tx.txid, keys=len(tx.keys())
+        ):
+            try:
+                tx.results = self._executor(tx)
+                tx.state = COMMITTED
+                self._m_outcomes.labels("committed").inc()
+            except TransactionError as exc:
+                tx.state = ABORTED
+                tx.error = str(exc)
+                self.aborted += 1
+                self._m_outcomes.labels("aborted").inc()
+            finally:
+                self._unlock(tx)
 
     def _unlock(self, tx: Transaction) -> None:
         for key in tx.keys():
@@ -146,6 +168,7 @@ class VllManager:
             front.state = OPEN
             self._run(front)
             self.executed_from_queue += 1
+            self._m_queued.inc()
 
     # -- introspection ------------------------------------------------------------
 
@@ -155,3 +178,21 @@ class VllManager:
 
     def locked_keys(self) -> set:
         return set(self._locks)
+
+    def _derived_metrics(self):
+        yield MetricFamily(
+            name="pesos_txn_queue_depth",
+            kind="gauge",
+            help="Transactions waiting in the VLL queue.",
+            samples=[
+                Sample("pesos_txn_queue_depth", {}, len(self._queue))
+            ],
+        )
+        yield MetricFamily(
+            name="pesos_txn_locked_keys",
+            kind="gauge",
+            help="Object keys currently holding VLL locks.",
+            samples=[
+                Sample("pesos_txn_locked_keys", {}, len(self._locks))
+            ],
+        )

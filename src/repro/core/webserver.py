@@ -10,11 +10,18 @@ paper's request flow.  Two front-ends share the parsing logic:
   secure channel (the TLS session) and returns a
   :class:`ClientConnection` that decrypts requests, authenticates the
   client by certificate fingerprint, and encrypts responses.
+
+The server is also the admin surface for telemetry: ``GET /_metrics``
+returns the registry in Prometheus text format (``?format=json`` for
+JSON) and ``GET /_traces`` returns recent span trees plus the
+slow-request log.  Admin requests bypass request accounting so scrapes
+do not distort the serving metrics.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from urllib.parse import parse_qs, urlparse
 
 from repro.core.controller import PesosController
 from repro.core.request import (
@@ -25,14 +32,51 @@ from repro.core.request import (
 from repro.crypto.certs import KeyPair, TrustStore
 from repro.crypto.channel import SecureChannel, establish_channel
 from repro.errors import PesosError
+from repro.telemetry import (
+    Telemetry,
+    render_json,
+    render_prometheus,
+    render_traces_json,
+)
 
 
-@dataclass
 class ServerStats:
-    requests: int = 0
-    errors: int = 0
-    bytes_in: int = 0
-    bytes_out: int = 0
+    """Legacy stats facade, now a thin view over registry counters.
+
+    Pre-telemetry code (tests, examples, ops scripts) reads
+    ``server.stats.requests`` and friends; these properties report the
+    live values from the metrics registry.  With telemetry explicitly
+    disabled the readings are zero, like every other instrument.
+    """
+
+    __slots__ = ("_requests", "_errors", "_bytes")
+
+    def __init__(self, requests_counter, errors_counter, bytes_counter):
+        self._requests = requests_counter
+        self._errors = errors_counter
+        self._bytes = bytes_counter
+
+    @property
+    def requests(self) -> int:
+        return int(self._requests.value)
+
+    @property
+    def errors(self) -> int:
+        return int(self._errors.value)
+
+    @property
+    def bytes_in(self) -> int:
+        return int(self._bytes.labels("in").value)
+
+    @property
+    def bytes_out(self) -> int:
+        return int(self._bytes.labels("out").value)
+
+    def __repr__(self) -> str:
+        return (
+            f"ServerStats(requests={self.requests}, errors={self.errors}, "
+            f"bytes_in={self.bytes_in}, bytes_out={self.bytes_out})"
+        )
 
 
 class WebServer:
@@ -43,11 +87,46 @@ class WebServer:
         controller: PesosController,
         server_keys: KeyPair | None = None,
         client_trust: TrustStore | None = None,
+        telemetry=None,
     ):
         self.controller = controller
         self.server_keys = server_keys
         self.client_trust = client_trust
-        self.stats = ServerStats()
+        if telemetry is None:
+            # Share the controller's telemetry when it has a live one,
+            # so /_metrics covers every layer in one registry.
+            controller_telemetry = getattr(controller, "telemetry", None)
+            if controller_telemetry is not None and controller_telemetry.enabled:
+                telemetry = controller_telemetry
+            else:
+                telemetry = Telemetry()
+        self.telemetry = telemetry
+        self._m_requests = telemetry.counter(
+            "pesos_http_requests_total",
+            "Client request cycles entered (admin scrapes excluded).",
+        )
+        self._m_responses = telemetry.counter(
+            "pesos_http_responses_total",
+            "Responses rendered, by HTTP status.",
+            ("status",),
+        )
+        self._m_errors = telemetry.counter(
+            "pesos_http_errors_total",
+            "Error responses plus parse failures, by kind.",
+            ("kind",),
+        )
+        self._m_bytes = telemetry.counter(
+            "pesos_http_bytes_total",
+            "Request/response bytes through the front-end, by direction.",
+            ("direction",),
+        )
+        self._m_handshakes = telemetry.counter(
+            "pesos_tls_handshakes_total",
+            "Mutually-authenticated TLS sessions established.",
+        )
+        self.stats = ServerStats(
+            self._m_requests, self._m_errors, self._m_bytes
+        )
 
     # -- plain HTTP front-end ---------------------------------------------
 
@@ -59,18 +138,72 @@ class WebServer:
         ``fingerprint`` identifies the authenticated client (in the
         TLS front-end it comes from the session's peer certificate).
         """
-        self.stats.requests += 1
-        self.stats.bytes_in += len(raw)
-        try:
-            request = parse_http_request(raw)
-            response = self.controller.handle(request, fingerprint, now)
-        except PesosError as exc:
-            response = Response(status=exc.status, error=str(exc))
-        if not response.ok:
-            self.stats.errors += 1
-        rendered = render_http_response(response)
-        self.stats.bytes_out += len(rendered)
+        if raw.startswith(b"GET /_"):
+            return self._handle_admin(raw)
+        telemetry = self.telemetry
+        self._m_requests.inc()
+        self._m_bytes.labels("in").inc(len(raw))
+        with telemetry.span("http.request", fingerprint=fingerprint) as root:
+            try:
+                with telemetry.span("http.parse", bytes=len(raw)):
+                    request = parse_http_request(raw)
+            except PesosError as exc:
+                response = Response(status=exc.status, error=str(exc))
+            except Exception:
+                # Non-protocol failures (framing bugs, codec crashes)
+                # used to escape uncounted; record them before they
+                # propagate to the transport layer.
+                self._m_errors.labels("parse_failure").inc()
+                root.set("error", "parse_failure")
+                raise
+            else:
+                root.set("method", request.method)
+                if request.key:
+                    root.set("key", request.key)
+                try:
+                    response = self.controller.handle(
+                        request, fingerprint, now
+                    )
+                except PesosError as exc:
+                    response = Response(status=exc.status, error=str(exc))
+            self._m_responses.labels(str(response.status)).inc()
+            if not response.ok:
+                self._m_errors.labels("response").inc()
+            root.set("status", response.status)
+            with telemetry.span("http.render"):
+                rendered = render_http_response(response)
+        self._m_bytes.labels("out").inc(len(rendered))
         return rendered
+
+    # -- admin surface ----------------------------------------------------
+
+    def _handle_admin(self, raw: bytes) -> bytes:
+        """Serve ``GET /_metrics`` and ``GET /_traces``."""
+        request_line = raw.split(b"\r\n", 1)[0].decode("latin-1")
+        parts = request_line.split(" ")
+        target = parts[1] if len(parts) > 1 else ""
+        parsed = urlparse(target)
+        params = parse_qs(parsed.query)
+        if not self.telemetry.enabled:
+            return _admin_response(
+                503, "text/plain", b"telemetry disabled\n"
+            )
+        if parsed.path == "/_metrics":
+            if params.get("format", [""])[0] == "json":
+                body = render_json(self.telemetry.registry).encode()
+                return _admin_response(200, "application/json", body)
+            body = render_prometheus(self.telemetry.registry).encode()
+            return _admin_response(
+                200, "text/plain; version=0.0.4; charset=utf-8", body
+            )
+        if parsed.path == "/_traces":
+            try:
+                limit = int(params.get("limit", ["32"])[0])
+            except ValueError:
+                limit = 32
+            body = render_traces_json(self.telemetry.tracer, limit).encode()
+            return _admin_response(200, "application/json", body)
+        return _admin_response(404, "text/plain", b"unknown admin path\n")
 
     # -- TLS front-end ----------------------------------------------------------
 
@@ -90,14 +223,28 @@ class WebServer:
         # The client must be able to verify the server certificate; in
         # tests/examples both sides trust the same roots.
         client_trust.authorities = list(server_trust.authorities)
-        client_end, server_end = establish_channel(
-            initiator=client_keys,
-            responder=self.server_keys,
-            initiator_trust=client_trust,
-            responder_trust=server_trust,
-            now=now,
-        )
+        with self.telemetry.span("tls.handshake"):
+            client_end, server_end = establish_channel(
+                initiator=client_keys,
+                responder=self.server_keys,
+                initiator_trust=client_trust,
+                responder_trust=server_trust,
+                now=now,
+            )
+        self._m_handshakes.inc()
         return ClientConnection(server=self, channel=server_end), client_end
+
+
+def _admin_response(status: int, content_type: str, body: bytes) -> bytes:
+    reason = {200: "OK", 404: "Not Found", 503: "Service Unavailable"}.get(
+        status, "Unknown"
+    )
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+    )
+    return head.encode() + b"\r\n" + body
 
 
 @dataclass

@@ -27,6 +27,7 @@ from repro.crypto.gcm import AesGcm
 from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey, generate_keypair
 from repro.errors import AttestationError, CryptoError
 from repro.sgx.enclave import Enclave, EnclaveBinary
+from repro.telemetry import NULL_TELEMETRY
 
 
 @dataclass(frozen=True)
@@ -96,10 +97,16 @@ class _Registration:
 class AttestationService:
     """Verifies quotes and provisions runtime secrets (Scone CAS stand-in)."""
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry=None) -> None:
         self._platforms: dict[str, RsaPublicKey] = {}
         self._registrations: dict[str, _Registration] = {}
         self.audit_log: list[dict] = []
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self._m_attestations = self.telemetry.counter(
+            "pesos_attestation_events_total",
+            "Attestation attempts against the service, by outcome.",
+            ("outcome",),
+        )
 
     # -- operator-facing -------------------------------------------------
 
@@ -156,6 +163,7 @@ class AttestationService:
             raise AttestationError("cannot decrypt provisioning blob") from exc
 
     def _log(self, quote: Quote, outcome: str) -> None:
+        self._m_attestations.labels(outcome).inc()
         self.audit_log.append(
             {
                 "platform": quote.platform_id,

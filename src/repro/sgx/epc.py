@@ -16,6 +16,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro.errors import ConfigurationError
+from repro.telemetry import NULL_TELEMETRY
 
 PAGE_SIZE = 4096
 
@@ -28,7 +29,7 @@ class EpcModel:
     and the model reports how many of those pages faulted.
     """
 
-    def __init__(self, capacity_bytes: int | None):
+    def __init__(self, capacity_bytes: int | None, telemetry=None):
         if capacity_bytes is not None and capacity_bytes <= 0:
             raise ConfigurationError("EPC capacity must be positive")
         self.capacity_pages = (
@@ -37,6 +38,12 @@ class EpcModel:
         self._resident: OrderedDict[tuple[str, int], None] = OrderedDict()
         self.total_faults = 0
         self.total_accesses = 0
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self._m_paging = self.telemetry.counter(
+            "pesos_epc_page_events_total",
+            "EPC page accesses and faults (evict+encrypt+reload).",
+            ("event",),
+        )
 
     @property
     def resident_pages(self) -> int:
@@ -69,6 +76,9 @@ class EpcModel:
                     self._resident.popitem(last=False)
             self._resident[key] = None
         self.total_faults += faults
+        self._m_paging.labels("access").inc(last - first + 1)
+        if faults:
+            self._m_paging.labels("fault").inc(faults)
         return faults
 
     def evict_region(self, region: str) -> int:

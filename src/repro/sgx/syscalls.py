@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import ConfigurationError, PesosError
+from repro.telemetry import NULL_TELEMETRY
 
 
 class SyscallQueueFull(PesosError):
@@ -59,7 +60,8 @@ class Shield:
 class AsyncSyscallInterface:
     """Slots + submission/return queues between enclave and runtime."""
 
-    def __init__(self, num_slots: int = 64, shield: Shield | None = None):
+    def __init__(self, num_slots: int = 64, shield: Shield | None = None,
+                 telemetry=None):
         if num_slots < 1:
             raise ConfigurationError("need at least one syscall slot")
         self._slots: list[SyscallRequest | None] = [None] * num_slots
@@ -70,6 +72,12 @@ class AsyncSyscallInterface:
         self._handlers: dict[str, Callable[..., Any]] = {}
         self.submitted = 0
         self.completed = 0
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self._m_syscalls = self.telemetry.counter(
+            "pesos_sgx_syscalls_total",
+            "Async syscall interface activity, by phase and operation.",
+            ("phase", "operation"),
+        )
 
     # -- untrusted-runtime side ------------------------------------------
 
@@ -109,6 +117,7 @@ class AsyncSyscallInterface:
         )
         self._submission.append(slot_index)
         self.submitted += 1
+        self._m_syscalls.labels("submitted", operation).inc()
         return slot_index
 
     def poll(self) -> SyscallRequest | None:
@@ -124,6 +133,7 @@ class AsyncSyscallInterface:
         self._slots[slot_index] = None
         self._free.append(slot_index)
         self.completed += 1
+        self._m_syscalls.labels("completed", request.operation).inc()
         return request
 
     def call(self, operation: str, *args: Any) -> Any:

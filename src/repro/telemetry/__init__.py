@@ -1,0 +1,164 @@
+"""Unified telemetry: metrics registry + request tracer + exposition.
+
+One :class:`Telemetry` object bundles what a component needs to be
+observable — a :class:`~repro.telemetry.metrics.MetricsRegistry` for
+counters/gauges/histograms and a :class:`~repro.telemetry.tracing.Tracer`
+for span trees — behind a facade small enough to thread through every
+layer of the request path.
+
+:class:`NullTelemetry` is the default everywhere: every instrument it
+hands out is a shared no-op, so the uninstrumented hot path costs a
+constant attribute lookup and benchmark numbers are unaffected.  Code
+therefore never guards instrumentation with ``if telemetry:`` — it
+just records, and the null objects swallow it.
+
+Usage::
+
+    telemetry = Telemetry()
+    controller = PesosController(clients, telemetry=telemetry)
+    server = WebServer(controller)          # inherits the telemetry
+    ...
+    print(render_prometheus(telemetry.registry))
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.exposition import (
+    registry_to_dict,
+    render_json,
+    render_prometheus,
+    render_traces_json,
+    traces_to_dict,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_REGISTRY,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    Sample,
+)
+from repro.telemetry.tracing import NULL_SPAN, Span, Tracer
+
+
+class Telemetry:
+    """A live registry + tracer pair handed through the request path."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        slow_threshold: float | None = None,
+    ):
+        self.registry = registry or MetricsRegistry()
+        self.tracer = tracer or Tracer(slow_threshold=slow_threshold)
+
+    # -- instruments -----------------------------------------------------
+
+    def counter(self, name: str, help_text: str = "",
+                labelnames: tuple = ()) -> Counter:
+        return self.registry.counter(name, help_text, labelnames)
+
+    def gauge(self, name: str, help_text: str = "",
+              labelnames: tuple = ()) -> Gauge:
+        return self.registry.gauge(name, help_text, labelnames)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labelnames: tuple = (),
+                  buckets: tuple | None = None) -> Histogram:
+        return self.registry.histogram(name, help_text, labelnames, buckets)
+
+    def register_callback(self, callback) -> None:
+        self.registry.register_callback(callback)
+
+    # -- tracing ----------------------------------------------------------
+
+    def span(self, name: str, **attributes) -> Span:
+        return self.tracer.span(name, **attributes)
+
+
+class _NullInstrument:
+    """One shared object impersonating every disabled instrument."""
+
+    __slots__ = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+
+    def labels(self, *_values) -> "_NullInstrument":
+        return self
+
+    def inc(self, _amount: float = 1) -> None:
+        pass
+
+    def dec(self, _amount: float = 1) -> None:
+        pass
+
+    def set(self, _value: float) -> None:
+        pass
+
+    def observe(self, _value: float) -> None:
+        pass
+
+    def percentile(self, _pct: float) -> float:
+        return 0.0
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullTelemetry:
+    """Disabled telemetry: all instruments and spans are no-ops."""
+
+    enabled = False
+    registry = None
+    tracer = None
+
+    def counter(self, *_args, **_kwargs) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, *_args, **_kwargs) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, *_args, **_kwargs) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def register_callback(self, _callback) -> None:
+        pass
+
+    def span(self, _name: str, **_attributes):
+        return NULL_SPAN
+
+
+#: Shared default instance; components fall back to this when no
+#: telemetry is passed, keeping the hot path free of real recording.
+NULL_TELEMETRY = NullTelemetry()
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_REGISTRY",
+    "DEFAULT_SIZE_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "Sample",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "registry_to_dict",
+    "render_json",
+    "render_prometheus",
+    "render_traces_json",
+    "traces_to_dict",
+]

@@ -88,3 +88,27 @@ def test_replicated_build_writes_everywhere():
     loaded = build_system(config, workload=TINY)
     for drive in loaded.cluster:
         assert drive.key_count > 0
+
+
+def test_run_point_reports_layer_breakdown(loaded):
+    from repro.bench.model import LAYERS
+
+    result = run_point(loaded, 4, measure_ops=200, warmup_ops=20)
+    assert set(result.breakdown) == set(LAYERS)
+    # The measured window charges real service time to the dominant
+    # layers of this configuration.
+    assert result.breakdown["cpu"] > 0
+    assert result.breakdown["client_net"] > 0
+    assert result.breakdown["drive_service"] > 0
+
+
+def test_run_point_with_telemetry_exposes_layer_gauges(loaded):
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry()
+    result = run_point(
+        loaded, 2, measure_ops=100, warmup_ops=10, telemetry=telemetry
+    )
+    families = {family.name for family in telemetry.registry.collect()}
+    assert "pesos_bench_layer_seconds" in families
+    assert result.breakdown["cpu"] > 0

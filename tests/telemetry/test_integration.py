@@ -1,0 +1,175 @@
+"""End-to-end telemetry: instrumented request path + admin endpoints."""
+
+import json
+
+import pytest
+
+from repro.core.controller import PesosController
+from repro.core.request import Request, build_http_request, parse_http_response
+from repro.core.webserver import WebServer
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+from tests.core.conftest import ALICE, make_clients
+
+
+@pytest.fixture()
+def telemetry():
+    return Telemetry()
+
+
+@pytest.fixture()
+def server(telemetry):
+    clients, _cluster = make_clients()
+    controller = PesosController(
+        clients, storage_key=b"k" * 32, telemetry=telemetry
+    )
+    return WebServer(controller)
+
+
+def _roundtrip(server):
+    put = server.handle_bytes(
+        build_http_request(Request(method="put", key="doc", value=b"v" * 64)),
+        ALICE,
+    )
+    assert parse_http_response(put).status == 200
+    get = server.handle_bytes(
+        build_http_request(Request(method="get", key="doc")), ALICE
+    )
+    assert parse_http_response(get).status == 200
+
+
+def _admin(server, path):
+    raw = server.handle_bytes(f"GET {path} HTTP/1.1\r\n\r\n".encode(), ALICE)
+    head, body = raw.split(b"\r\n\r\n", 1)
+    status = int(head.split(b" ", 2)[1])
+    return status, body
+
+
+def test_server_inherits_controller_telemetry(server, telemetry):
+    assert server.telemetry is telemetry
+
+
+def test_metrics_cover_every_layer(server):
+    _roundtrip(server)
+    status, body = _admin(server, "/_metrics")
+    assert status == 200
+    text = body.decode()
+    for family in (
+        "pesos_http_requests_total",          # webserver
+        "pesos_http_bytes_total",
+        "pesos_controller_requests_total",    # controller
+        "pesos_policy_check_seconds",
+        "pesos_cache_hit_ratio",              # enclave caches
+        "pesos_drive_op_seconds",             # store -> kinetic
+        "pesos_drive_bytes_total",
+        "pesos_sgx_transitions_total",        # sgx transition estimate
+        "pesos_sessions_active",              # derived callback gauge
+    ):
+        assert family in text, family
+    assert 'pesos_controller_requests_total{method="put",outcome="ok"} 1' in text
+    assert 'pesos_controller_requests_total{method="get",outcome="ok"} 1' in text
+    assert 'pesos_sgx_transitions_total{reason="client_io"} 4' in text
+
+
+def test_metrics_json_format(server):
+    _roundtrip(server)
+    status, body = _admin(server, "/_metrics?format=json")
+    assert status == 200
+    data = json.loads(body)
+    assert data["pesos_http_requests_total"]["kind"] == "counter"
+    assert data["pesos_http_requests_total"]["samples"][0]["value"] == 2
+
+
+def test_traces_show_nested_layers_with_durations(server):
+    _roundtrip(server)
+    status, body = _admin(server, "/_traces")
+    assert status == 200
+    dump = json.loads(body)
+    assert dump["traces_completed"] == 2
+
+    def depth_path(span):
+        best = [span["name"]]
+        for child in span["children"]:
+            tail = depth_path(child)
+            if len(tail) + 1 > len(best):
+                best = [span["name"], *tail]
+        return best
+
+    put_trace = dump["recent"][0]
+    path = depth_path(put_trace)
+    # http.request > controller.handle > store.store_version > kinetic.put
+    assert path[0] == "http.request"
+    assert "controller.handle" in path
+    assert "store.store_version" in path
+    assert "kinetic.put" in path
+    assert len(path) >= 4
+
+    def walk(span):
+        yield span
+        for child in span["children"]:
+            yield from walk(child)
+
+    for name in ("http.request", "controller.handle",
+                 "store.store_version", "kinetic.put"):
+        span = next(s for s in walk(put_trace) if s["name"] == name)
+        assert span["duration_s"] > 0.0, name
+
+
+def test_traces_limit_parameter(server):
+    for _ in range(5):
+        _roundtrip(server)
+    _status, body = _admin(server, "/_traces?limit=3")
+    assert len(json.loads(body)["recent"]) == 3
+
+
+def test_admin_scrapes_do_not_distort_serving_stats(server):
+    _roundtrip(server)
+    before = server.stats.requests
+    _admin(server, "/_metrics")
+    _admin(server, "/_traces")
+    assert server.stats.requests == before
+
+
+def test_unknown_admin_path_is_404(server):
+    status, _body = _admin(server, "/_whatever")
+    assert status == 404
+
+
+def test_disabled_telemetry_returns_503():
+    clients, _cluster = make_clients()
+    controller = PesosController(clients, storage_key=b"k" * 32)
+    server = WebServer(controller, telemetry=NULL_TELEMETRY)
+    status, body = _admin(server, "/_metrics")
+    assert status == 503
+    assert b"telemetry disabled" in body
+
+
+def test_policy_denial_counted(server, telemetry):
+    policy = server.controller.put_policy(
+        ALICE,
+        f"read :- sessionKeyIs(k'{ALICE}')\n"
+        f"update :- sessionKeyIs(k'{ALICE}')",
+    )
+    server.handle_bytes(
+        build_http_request(
+            Request(method="put", key="sec", value=b"v",
+                    policy_id=policy.policy_id)
+        ),
+        ALICE,
+    )
+    raw = server.handle_bytes(
+        build_http_request(Request(method="get", key="sec")), "fp-eve"
+    )
+    assert parse_http_response(raw).status == 403
+    counter = telemetry.registry.get("pesos_policy_denials_total")
+    assert counter.labels("read").value == 1
+
+
+def test_slow_log_threshold():
+    clients, _cluster = make_clients()
+    slow_telemetry = Telemetry(slow_threshold=0.0)
+    controller = PesosController(
+        clients, storage_key=b"k" * 32, telemetry=slow_telemetry
+    )
+    server = WebServer(controller)
+    _roundtrip(server)
+    assert len(slow_telemetry.tracer.slow()) == 2

@@ -1,0 +1,159 @@
+"""Metrics registry: instruments, labels, and histogram math."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import MetricFamily, MetricsRegistry, Sample
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+# -- counters ---------------------------------------------------------------
+
+def test_counter_increments(registry):
+    counter = registry.counter("ops_total")
+    counter.inc()
+    counter.inc(2)
+    assert counter.value == 3
+
+
+def test_counter_rejects_negative(registry):
+    counter = registry.counter("ops_total")
+    with pytest.raises(ConfigurationError):
+        counter.inc(-1)
+
+
+def test_labeled_counter_keeps_independent_series(registry):
+    counter = registry.counter("reqs_total", labelnames=("method",))
+    counter.labels("get").inc(5)
+    counter.labels("put").inc(2)
+    assert counter.labels("get").value == 5
+    assert counter.labels("put").value == 2
+    assert counter.value == 7
+    assert counter.series() == {("get",): 5, ("put",): 2}
+
+
+def test_label_values_coerced_to_strings(registry):
+    counter = registry.counter("status_total", labelnames=("status",))
+    counter.labels(200).inc()
+    assert counter.labels("200").value == 1
+
+
+def test_wrong_label_arity_rejected(registry):
+    counter = registry.counter("reqs_total", labelnames=("method",))
+    with pytest.raises(ConfigurationError):
+        counter.labels("get", "extra")
+
+
+def test_get_or_create_returns_same_instrument(registry):
+    first = registry.counter("ops_total", "help")
+    second = registry.counter("ops_total")
+    assert first is second
+
+
+def test_kind_mismatch_rejected(registry):
+    registry.counter("ops_total")
+    with pytest.raises(ConfigurationError):
+        registry.gauge("ops_total")
+
+
+def test_label_mismatch_rejected(registry):
+    registry.counter("ops_total", labelnames=("method",))
+    with pytest.raises(ConfigurationError):
+        registry.counter("ops_total", labelnames=("verb",))
+
+
+# -- gauges -----------------------------------------------------------------
+
+def test_gauge_set_inc_dec(registry):
+    gauge = registry.gauge("depth")
+    gauge.set(10)
+    gauge.inc(5)
+    gauge.dec(3)
+    assert gauge.value == 12
+
+
+# -- histograms -------------------------------------------------------------
+
+def test_histogram_le_bucket_semantics(registry):
+    histogram = registry.histogram("lat", buckets=(1.0, 2.0, 4.0))
+    for value in (0.5, 1.0, 1.5, 2.0, 3.0, 9.0):
+        histogram.observe(value)
+    child = histogram.labels()
+    # le semantics: an observation equal to a bound lands in that bucket.
+    assert child.counts == [2, 2, 1, 1]  # [<=1, <=2, <=4, +Inf]
+    assert child.count == 6
+    assert child.sum == pytest.approx(17.0)
+
+
+def test_histogram_percentile_interpolates(registry):
+    histogram = registry.histogram("lat", buckets=(1.0, 2.0, 4.0))
+    for _ in range(50):
+        histogram.observe(0.5)
+    for _ in range(50):
+        histogram.observe(1.5)
+    assert histogram.percentile(50) == pytest.approx(1.0)
+    assert histogram.percentile(75) == pytest.approx(1.5)
+    assert histogram.percentile(100) == pytest.approx(2.0)
+
+
+def test_histogram_overflow_reports_top_bound(registry):
+    histogram = registry.histogram("lat", buckets=(1.0, 2.0))
+    histogram.observe(50.0)
+    assert histogram.percentile(99) == 2.0
+
+
+def test_histogram_empty_and_bad_percentile(registry):
+    histogram = registry.histogram("lat", buckets=(1.0,))
+    assert histogram.percentile(99) == 0.0
+    with pytest.raises(ConfigurationError):
+        histogram.percentile(0)
+    with pytest.raises(ConfigurationError):
+        histogram.percentile(101)
+
+
+def test_histogram_empty_buckets_fall_back_to_defaults():
+    from repro.telemetry import DEFAULT_LATENCY_BUCKETS
+
+    histogram = MetricsRegistry().histogram("lat", buckets=())
+    assert histogram.bounds == tuple(sorted(DEFAULT_LATENCY_BUCKETS))
+
+
+def test_histogram_mean(registry):
+    histogram = registry.histogram("lat", buckets=(10.0,))
+    histogram.observe(1.0)
+    histogram.observe(3.0)
+    assert histogram.labels().mean == pytest.approx(2.0)
+
+
+# -- collection -------------------------------------------------------------
+
+def test_collect_is_sorted_and_typed(registry):
+    registry.counter("b_total", "bees")
+    registry.gauge("a_depth", "depth")
+    families = registry.collect()
+    assert [family.name for family in families] == ["a_depth", "b_total"]
+    assert [family.kind for family in families] == ["gauge", "counter"]
+
+
+def test_callback_families_collected(registry):
+    def derived():
+        yield MetricFamily(
+            name="hit_ratio", kind="gauge", help="",
+            samples=[Sample("hit_ratio", {"region": "object"}, 0.75)],
+        )
+
+    registry.register_callback(derived)
+    families = {family.name: family for family in registry.collect()}
+    assert families["hit_ratio"].samples[0].value == 0.75
+
+
+def test_reset_clears_everything(registry):
+    registry.counter("ops_total").inc()
+    registry.register_callback(lambda: [])
+    registry.reset()
+    assert registry.collect() == []
+    assert registry.get("ops_total") is None

@@ -1,0 +1,133 @@
+"""Tracer: span nesting, ring buffer, slow log, virtual time."""
+
+import pytest
+
+from repro.telemetry import NULL_SPAN, Tracer
+
+
+class FakeClock:
+    """Deterministic clock the tests advance by hand."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def tracer(clock):
+    return Tracer(clock=clock)
+
+
+def test_spans_nest_into_a_tree(tracer):
+    with tracer.span("root") as root:
+        with tracer.span("child-a"):
+            with tracer.span("grandchild"):
+                pass
+        with tracer.span("child-b"):
+            pass
+    assert [span.name for span in root.walk()] == [
+        "root", "child-a", "grandchild", "child-b",
+    ]
+    assert all(span.trace_id == root.trace_id for span in root.walk())
+
+
+def test_root_completion_lands_in_recent(tracer):
+    with tracer.span("request"):
+        pass
+    assert [span.name for span in tracer.recent()] == ["request"]
+    assert tracer.traces_completed == 1
+    assert tracer.spans_started == 1
+
+
+def test_child_completion_does_not_complete_trace(tracer):
+    with tracer.span("root"):
+        with tracer.span("child"):
+            pass
+        assert tracer.recent() == []
+    assert len(tracer.recent()) == 1
+
+
+def test_durations_come_from_the_clock(tracer, clock):
+    with tracer.span("outer") as outer:
+        clock.advance(1.0)
+        with tracer.span("inner") as inner:
+            clock.advance(0.25)
+    assert outer.duration == pytest.approx(1.25)
+    assert inner.duration == pytest.approx(0.25)
+
+
+def test_attributes_via_kwargs_and_set(tracer):
+    with tracer.span("op", method="get") as span:
+        span.set("status", 200)
+    assert span.attributes == {"method": "get", "status": 200}
+
+
+def test_exception_recorded_and_propagated(tracer):
+    with pytest.raises(ValueError):
+        with tracer.span("op"):
+            raise ValueError("boom")
+    (root,) = tracer.recent()
+    assert root.error == "ValueError: boom"
+    assert "error" in root.to_dict()
+
+
+def test_slow_log_captures_only_slow_roots(clock):
+    tracer = Tracer(clock=clock, slow_threshold=1.0)
+    with tracer.span("fast"):
+        clock.advance(0.5)
+    with tracer.span("slow"):
+        clock.advance(2.0)
+    assert [span.name for span in tracer.slow()] == ["slow"]
+    assert len(tracer.recent()) == 2
+
+
+def test_ring_buffer_is_bounded(clock):
+    tracer = Tracer(clock=clock, ring_size=3)
+    for index in range(5):
+        with tracer.span(f"t{index}"):
+            pass
+    assert [span.name for span in tracer.recent()] == ["t2", "t3", "t4"]
+    assert tracer.traces_completed == 5
+
+
+def test_virtual_clock_durations(tracer, clock):
+    virtual = FakeClock()
+    tracer.set_virtual_clock(virtual)
+    with tracer.span("op") as span:
+        virtual.advance(3.0)
+    assert span.virtual_duration == pytest.approx(3.0)
+    assert span.to_dict()["virtual_duration_s"] == pytest.approx(3.0)
+
+
+def test_no_virtual_clock_means_no_virtual_duration(tracer):
+    with tracer.span("op") as span:
+        pass
+    assert span.virtual_duration is None
+    assert "virtual_duration_s" not in span.to_dict()
+
+
+def test_current_tracks_the_stack(tracer):
+    assert tracer.current is None
+    with tracer.span("outer") as outer:
+        assert tracer.current is outer
+        with tracer.span("inner") as inner:
+            assert tracer.current is inner
+        assert tracer.current is outer
+    assert tracer.current is None
+
+
+def test_null_span_is_inert():
+    with NULL_SPAN as span:
+        span.set("anything", 1)
+    assert span.duration == 0.0
+    assert span.attributes == {}
