@@ -57,6 +57,9 @@ class SystemConfig:
     backend: str = SIM_BACKEND
     num_drives: int = 3
     replication_factor: int = 1
+    #: Replicas that must persist a write before it is acknowledged;
+    #: None = every replica (the store's default §3.2 contract).
+    write_quorum: int | None = None
     controller_cores: int = 8
 
     # -- network -------------------------------------------------------------

@@ -117,6 +117,7 @@ def build_system(
         storage_key=b"bench-key".ljust(32, b"\0"),
         config=ControllerConfig(
             replication_factor=config.replication_factor,
+            write_quorum=config.write_quorum,
             keep_history=keep_history or version_aware,
             cache=cache_config,
             enforce_policies=enforce_policies,

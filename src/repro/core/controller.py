@@ -20,6 +20,7 @@ import secrets as _secrets
 import time as _time
 from dataclasses import dataclass, field
 
+from repro.core.antientropy import AntiEntropyRepairer
 from repro.core.asyncapi import AsyncTracker
 from repro.core.cache import CacheConfig, CacheManager
 from repro.core.effects import (
@@ -76,6 +77,18 @@ class ControllerConfig:
     #: Entries in the untrusted-SSD cache tier's freshness table
     #: (see :mod:`repro.core.ssdcache`); None disables the tier.
     ssd_cache_entries: int | None = None
+    #: Replicas that must persist a write before it is acknowledged;
+    #: None means every replica of the placement (§3.2 write-through).
+    write_quorum: int | None = None
+    #: Consecutive per-drive failures before its circuit breaker opens,
+    #: and store operations to wait before a half-open probe.
+    breaker_threshold: int = 3
+    breaker_cooldown_ops: int = 64
+    #: Pump one anti-entropy repair pass every N handled requests;
+    #: None disables the background loop (tests pump it directly).
+    anti_entropy_interval: int | None = None
+    #: Journal keys repaired per anti-entropy pass.
+    anti_entropy_batch: int = 4
 
 
 def attestation_statement(
@@ -169,6 +182,12 @@ class PesosController:
             aead_factory=self.config.aead_factory,
             version_metadata_window=self.config.version_metadata_window,
             telemetry=self.telemetry,
+            write_quorum=self.config.write_quorum,
+            breaker_threshold=self.config.breaker_threshold,
+            breaker_cooldown_ops=self.config.breaker_cooldown_ops,
+        )
+        self.anti_entropy = AntiEntropyRepairer(
+            self.store, telemetry=self.telemetry
         )
         #: Public keys of external authorities (time servers, group
         #: CAs) by fingerprint, available to certificateSays.
@@ -271,6 +290,8 @@ class PesosController:
     ) -> Response:
         """Execute one authenticated client request."""
         self.requests_handled += 1
+        if self.config.anti_entropy_interval:
+            self._pump_anti_entropy()
         telemetry = self.telemetry
         if not telemetry.enabled:
             # Uninstrumented fast path: identical to the historical
@@ -283,7 +304,7 @@ class PesosController:
                     return self._handle_async(request, session, now)
                 return self._dispatch(request, session, now)
             except PesosError as exc:
-                return Response(status=exc.status, error=str(exc))
+                return self._error_response(exc)
         events_before = len(self.effects.events)
         with telemetry.span(
             "controller.handle", method=request.method, now=now
@@ -299,7 +320,7 @@ class PesosController:
                 else:
                     response = self._dispatch(request, session, now)
             except PesosError as exc:
-                response = Response(status=exc.status, error=str(exc))
+                response = self._error_response(exc)
             span.set("status", response.status)
             if response.ok:
                 outcome = "ok"
@@ -310,6 +331,40 @@ class PesosController:
             self._m_ops.labels(request.method, outcome).inc()
             self._count_transitions(events_before)
         return response
+
+    @staticmethod
+    def _error_response(exc: PesosError) -> Response:
+        """Render an error, carrying any Retry-After degradation hint."""
+        return Response(
+            status=exc.status,
+            error=str(exc),
+            retry_after=getattr(exc, "retry_after", None),
+        )
+
+    def _pump_anti_entropy(self) -> None:
+        """Run one repair pass every ``anti_entropy_interval`` requests.
+
+        The synchronous stand-in for a background maintenance thread;
+        repair failures never surface into the client request being
+        served.
+        """
+        if self.requests_handled % self.config.anti_entropy_interval:
+            return
+        if not len(self.store.journal):
+            return
+        try:
+            self.anti_entropy.run_once(
+                max_keys=self.config.anti_entropy_batch
+            )
+        except PesosError:
+            pass
+
+    def health(self) -> dict:
+        """Operator health report served at ``GET /_health``."""
+        report = self.store.health_snapshot()
+        report["requests_handled"] = self.requests_handled
+        report["anti_entropy_runs"] = self.anti_entropy.runs
+        return report
 
     def _count_transitions(self, events_before: int) -> None:
         """Estimate enclave transitions from this request's effects.
@@ -372,7 +427,7 @@ class PesosController:
         try:
             result = self._dispatch(request, session, now)
         except PesosError as exc:
-            result = Response(status=exc.status, error=str(exc))
+            result = self._error_response(exc)
         self.async_tracker.complete(entry.operation_id, result)
         return Response(status=202, operation_id=entry.operation_id)
 

@@ -194,7 +194,7 @@ class ElasticStore:
                     b"val:" + key.encode() + b":" + str(slot).encode()
                 )
                 sealed = self.store._seal(value, blob_aad)
-                self.store._write_all_replicas(
+                self.store._write_replicas(
                     key, self.store.value_key(key, slot), sealed
                 )
             self.store.write_meta(meta)

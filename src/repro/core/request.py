@@ -84,6 +84,9 @@ class Response:
     operation_id: str = ""
     txid: str = ""
     extra: dict = field(default_factory=dict)
+    #: Seconds the client should wait before retrying; rendered as a
+    #: ``Retry-After`` header on 5xx responses (quorum degradation).
+    retry_after: float | None = None
 
     @property
     def ok(self) -> bool:
@@ -165,6 +168,8 @@ def render_http_response(response: Response) -> bytes:
         headers.append(f"X-Pesos-Txid: {response.txid}")
     if response.error:
         headers.append(f"X-Pesos-Error: {quote(response.error)}")
+    if response.retry_after is not None:
+        headers.append(f"Retry-After: {response.retry_after:g}")
     body = response.value
     headers.append(f"Content-Length: {len(body)}")
     return ("\r\n".join(headers) + "\r\n\r\n").encode() + body
@@ -218,4 +223,7 @@ def parse_http_response(raw: bytes) -> Response:
         operation_id=headers.get("X-Pesos-Operation", ""),
         txid=headers.get("X-Pesos-Txid", ""),
         error=unquote(headers.get("X-Pesos-Error", "")),
+        retry_after=(
+            float(headers["Retry-After"]) if "Retry-After" in headers else None
+        ),
     )

@@ -14,8 +14,16 @@ list.  No replication metadata is kept anywhere.  On a drive failure,
 reads fail over to the next replica in placement order.
 
 Writes are write-through (§3.2): content first, then metadata, on
-every replica.  A write reports success only if every replica of the
-placement persisted it.
+every replica.  A write reports success only if at least
+``write_quorum`` replicas persisted it (default: every replica of the
+placement); success below full replication journals the key for
+anti-entropy repair, and falling below quorum raises
+:class:`~repro.errors.ReplicationDegraded`.
+
+Resilience: every replica interaction feeds a per-drive circuit
+breaker (:mod:`repro.core.health`) so failover skips known-dead drives
+instead of paying a timeout per request, and reads that fail over past
+a missing or corrupt copy repair it inline from the healthy one.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ import secrets
 import time as _time
 from dataclasses import dataclass, field
 
+from repro.core.antientropy import KIND_OBJECT, KIND_POLICY, DirtyJournal
 from repro.core.effects import (
     DECRYPT,
     DISK_DELETE,
@@ -33,8 +42,17 @@ from repro.core.effects import (
     ENCRYPT,
     NullRecorder,
 )
+from repro.core.health import STATE_CODES, HealthTracker
 from repro.crypto.aead import StreamAead
-from repro.errors import ConfigurationError, DriveOffline, KineticNotFound
+from repro.errors import (
+    ConfigurationError,
+    DriveOffline,
+    IntegrityError,
+    KineticError,
+    KineticNotFound,
+    ReplicationDegraded,
+    TransientIOError,
+)
 from repro.policy.context import ObjectView, VersionInfo, parse_content_tuples
 from repro.kinetic.protocol import decode_fields, encode_fields
 from repro.telemetry import NULL_TELEMETRY
@@ -124,12 +142,34 @@ class ObjectStore:
         aead_factory=StreamAead,
         version_metadata_window: int | None = None,
         telemetry=None,
+        write_quorum: int | None = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown_ops: int = 64,
     ):
         if not clients:
             raise ConfigurationError("store needs at least one drive client")
         self.clients = clients
         self.replication_factor = max(1, replication_factor)
         self.keep_history = keep_history
+        effective_replicas = min(self.replication_factor, len(clients))
+        #: Replicas that must persist a write before it is acknowledged.
+        #: Defaults to every replica of the placement (the §3.2
+        #: write-through contract); lower it to trade durability for
+        #: availability during drive failures.
+        self.write_quorum = (
+            effective_replicas if write_quorum is None else write_quorum
+        )
+        if not 1 <= self.write_quorum <= effective_replicas:
+            raise ConfigurationError(
+                f"write_quorum {self.write_quorum} outside "
+                f"[1, {effective_replicas}]"
+            )
+        self.health = HealthTracker(
+            len(clients),
+            threshold=breaker_threshold,
+            cooldown_ops=breaker_cooldown_ops,
+        )
+        self.journal = DirtyJournal()
         #: When set, only the newest N versions keep per-version
         #: metadata (size/hash/policy-hash) in the hot ``m/`` record;
         #: older version *values* stay on disk but are no longer
@@ -149,74 +189,320 @@ class ObjectStore:
             "Encrypted bytes exchanged with drives, by direction.",
             ("direction",),
         )
+        self._m_replica_failures = self.telemetry.counter(
+            "pesos_replica_failures_total",
+            "Per-replica operation failures seen by the store, by kind.",
+            ("kind",),
+        )
+        self._m_read_repair = self.telemetry.counter(
+            "pesos_read_repair_total",
+            "Replica blobs rewritten inline after a failed-over read.",
+        )
+        self._m_degraded = self.telemetry.counter(
+            "pesos_replication_degraded_total",
+            "Writes below full replication: acknowledged partial writes "
+            "and quorum refusals.",
+            ("outcome",),
+        )
+        if self.telemetry.enabled:
+            self.telemetry.register_callback(self._health_metrics)
 
     # -- placement and failover -------------------------------------------
 
     def _replicas(self, key: str) -> list[int]:
         return placement(key, len(self.clients), self.replication_factor)
 
-    def _read_with_failover(self, object_key: str, disk_key: bytes) -> bytes:
+    def _drive_id(self, index: int) -> str:
+        drive = getattr(self.clients[index], "drive", None)
+        return getattr(drive, "drive_id", f"drive-{index}")
+
+    def _read_with_failover(
+        self,
+        object_key: str,
+        disk_key: bytes,
+        aad: bytes | None = None,
+        kind: str = KIND_OBJECT,
+    ) -> bytes:
+        """Read one disk key, failing over across the placement.
+
+        With ``aad`` set the sealed blob is also decrypted *per
+        replica*, so a corrupt copy (AEAD failure) fails over exactly
+        like an offline drive and the plaintext is returned.  Replicas
+        that answered with missing or corrupt data are repaired inline
+        from the first healthy copy; any failure journals the key for
+        full anti-entropy repair.  Breaker-open drives are tried last,
+        as a final resort only.
+
+        When no replica serves the data, the error honours quorum
+        semantics: an acknowledged write reached at least
+        ``write_quorum`` replicas, so the key is *proven absent* only
+        once ``len(replicas) - write_quorum + 1`` live drives answered
+        "not found" — fewer than that (the rest unreachable) means the
+        data may exist on a dead drive, and the read raises the drive
+        error instead of claiming absence.  Corrupt copies prove
+        existence, so they outrank absence.
+        """
         instrumented = self.telemetry.enabled
         started = _time.perf_counter() if instrumented else 0.0
-        last_error: Exception | None = None
+        drive_error: Exception | None = None
+        corrupt_error: Exception | None = None
+        not_found: Exception | None = None
+        missing_count = 0
         with self.telemetry.span("kinetic.get", key=object_key):
-            for index in self._replicas(object_key):
+            replicas = self._replicas(object_key)
+            self.health.tick()
+            preferred = [i for i in replicas if self.health.allow(i)]
+            last_resort = [i for i in replicas if i not in preferred]
+            data_failures: list[int] = []
+            drive_failures: list[int] = []
+            for index in preferred + last_resort:
                 client = self.clients[index]
                 try:
-                    value, _version = client.get(disk_key)
-                    self.effects.record(DISK_READ, index, len(value))
-                    if instrumented:
-                        self._h_drive_op.labels("read").observe(
-                            _time.perf_counter() - started
-                        )
-                        self._m_drive_bytes.labels("read").inc(len(value))
-                    return value
-                except DriveOffline as exc:
-                    last_error = exc
+                    blob, _version = client.get(disk_key)
+                except (DriveOffline, TransientIOError) as exc:
+                    self.health.record_failure(index)
+                    self._m_replica_failures.labels("offline").inc()
+                    drive_failures.append(index)
+                    drive_error = exc
                     continue
-        raise last_error or KineticNotFound(object_key)
+                except KineticNotFound as exc:
+                    # The drive answered; the data is missing there.
+                    self.health.record_success(index)
+                    self._m_replica_failures.labels("missing").inc()
+                    data_failures.append(index)
+                    not_found = exc
+                    missing_count += 1
+                    continue
+                self.health.record_success(index)
+                if aad is not None:
+                    try:
+                        value = self._open(blob, aad)
+                    except IntegrityError as exc:
+                        self._m_replica_failures.labels("corrupt").inc()
+                        data_failures.append(index)
+                        corrupt_error = exc
+                        continue
+                else:
+                    value = blob
+                self.effects.record(DISK_READ, index, len(blob))
+                if instrumented:
+                    self._h_drive_op.labels("read").observe(
+                        _time.perf_counter() - started
+                    )
+                    self._m_drive_bytes.labels("read").inc(len(blob))
+                if data_failures or drive_failures:
+                    self._read_repair(
+                        object_key, disk_key, blob, data_failures,
+                        drive_failures, kind,
+                    )
+                return value
+        absence_quorum = len(replicas) - min(
+            self.write_quorum, len(replicas)
+        ) + 1
+        if corrupt_error is not None:
+            raise corrupt_error
+        if missing_count >= absence_quorum:
+            raise not_found
+        raise drive_error or not_found or KineticNotFound(object_key)
 
-    def _write_all_replicas(self, object_key: str, disk_key: bytes,
-                            blob: bytes) -> None:
+    def _read_repair(
+        self,
+        object_key: str,
+        disk_key: bytes,
+        blob: bytes,
+        data_failures: list[int],
+        drive_failures: list[int],
+        kind: str,
+    ) -> None:
+        """Re-seed replicas that answered wrong; journal the rest."""
+        self.journal.mark(kind, object_key, data_failures + drive_failures)
+        for index in data_failures:
+            try:
+                self.clients[index].put(disk_key, blob, force=True)
+            except KineticError:
+                continue
+            self.effects.record(DISK_WRITE, index, len(blob))
+            self._m_read_repair.inc()
+
+    def _write_replicas(self, object_key: str, disk_key: bytes,
+                        blob: bytes, kind: str = KIND_OBJECT) -> int:
+        """Write to every replica; succeed iff ``write_quorum`` held.
+
+        Breaker-open drives are skipped up front (no timeout paid) but
+        retried as a last resort if the quorum would otherwise fail.
+        Acknowledged writes below full replication journal the key so
+        anti-entropy can converge the lagging replicas; below quorum
+        the write raises :class:`ReplicationDegraded` — and the key is
+        still journaled when *some* replica took the write, because
+        that replica now diverges from the rest.
+        """
         instrumented = self.telemetry.enabled
         started = _time.perf_counter() if instrumented else 0.0
         wrote = 0
+        missed: list[int] = []
+        skipped: list[int] = []
         with self.telemetry.span(
             "kinetic.put", key=object_key, bytes=len(blob)
         ):
-            for index in self._replicas(object_key):
-                client = self.clients[index]
-                try:
-                    client.put(disk_key, blob, force=True)
-                    self.effects.record(DISK_WRITE, index, len(blob))
-                    wrote += 1
-                except DriveOffline:
+            replicas = self._replicas(object_key)
+            self.health.tick()
+            for index in replicas:
+                if not self.health.allow(index):
+                    skipped.append(index)
                     continue
+                if self._put_replica(index, disk_key, blob):
+                    wrote += 1
+                else:
+                    missed.append(index)
+            quorum = min(self.write_quorum, len(replicas))
+            if wrote < quorum and skipped:
+                # Last resort: probe breaker-open drives rather than
+                # refusing a write that could still meet quorum.
+                still_skipped = []
+                for index in skipped:
+                    if wrote < quorum and self._put_replica(
+                        index, disk_key, blob
+                    ):
+                        wrote += 1
+                    else:
+                        still_skipped.append(index)
+                skipped = still_skipped
         if instrumented:
             self._h_drive_op.labels("write").observe(
                 _time.perf_counter() - started
             )
             self._m_drive_bytes.labels("written").inc(wrote * len(blob))
-        if wrote == 0:
-            raise DriveOffline(
-                f"no replica of {object_key!r} accepted the write"
+        behind = missed + skipped
+        if wrote < quorum:
+            self._m_degraded.labels("refused").inc()
+            if wrote:
+                self.journal.mark(kind, object_key, behind)
+            raise ReplicationDegraded(
+                f"wrote {wrote}/{quorum} required replicas of "
+                f"{object_key!r} ({len(replicas)} placed)"
             )
+        if behind:
+            self._m_degraded.labels("partial").inc()
+            self.journal.mark(kind, object_key, behind)
+        return wrote
+
+    def _put_replica(self, index: int, disk_key: bytes, blob: bytes) -> bool:
+        try:
+            self.clients[index].put(disk_key, blob, force=True)
+        except (DriveOffline, TransientIOError):
+            self.health.record_failure(index)
+            self._m_replica_failures.labels("offline").inc()
+            return False
+        self.health.record_success(index)
+        self.effects.record(DISK_WRITE, index, len(blob))
+        return True
 
     def _delete_all_replicas(self, object_key: str, disk_key: bytes) -> None:
         instrumented = self.telemetry.enabled
         started = _time.perf_counter() if instrumented else 0.0
         with self.telemetry.span("kinetic.delete", key=object_key):
+            self.health.tick()
             for index in self._replicas(object_key):
                 client = self.clients[index]
                 try:
                     client.delete(disk_key, force=True)
+                    self.health.record_success(index)
                     self.effects.record(DISK_DELETE, index, 0)
-                except (DriveOffline, KineticNotFound):
-                    continue
+                except KineticNotFound:
+                    self.health.record_success(index)
+                except (DriveOffline, TransientIOError):
+                    self.health.record_failure(index)
+                    # Best effort: the unreachable replica keeps its
+                    # copy, so journal the key for a later scrub.  A
+                    # tombstone-free store cannot make partial deletes
+                    # fully durable (see docs/resilience.md).
+                    self.journal.mark(KIND_OBJECT, object_key, (index,))
         if instrumented:
             self._h_drive_op.labels("delete").observe(
                 _time.perf_counter() - started
             )
+
+    # -- health reporting --------------------------------------------------
+
+    def health_snapshot(self) -> dict:
+        """Per-drive breaker state plus quorum and journal figures.
+
+        ``status`` is ``ok`` with a fully healthy fleet, ``degraded``
+        while any drive is down or breaker-open, and ``critical`` once
+        fewer healthy drives remain than ``write_quorum`` needs — at
+        which point some writes *must* fail.
+        """
+        drives = []
+        for index in range(len(self.clients)):
+            drive = getattr(self.clients[index], "drive", None)
+            entry = {"index": index, "drive_id": self._drive_id(index),
+                     "online": bool(getattr(drive, "online", True))}
+            entry.update(self.health.state_of(index).snapshot())
+            drives.append(entry)
+        unhealthy = sum(
+            1 for d in drives if not d["online"] or d["breaker"] == "open"
+        )
+        healthy = len(drives) - unhealthy
+        if unhealthy == 0:
+            status = "ok"
+        elif healthy >= self.write_quorum:
+            status = "degraded"
+        else:
+            status = "critical"
+        return {
+            "status": status,
+            "drives": drives,
+            "replication_factor": min(
+                self.replication_factor, len(self.clients)
+            ),
+            "write_quorum": self.write_quorum,
+            "dirty_keys": len(self.journal),
+        }
+
+    def _health_metrics(self):
+        from repro.telemetry.metrics import MetricFamily, Sample
+
+        health_samples = []
+        online_samples = []
+        for index in range(len(self.clients)):
+            drive_id = self._drive_id(index)
+            state = self.health.state_of(index).state
+            health_samples.append(
+                Sample(
+                    "pesos_drive_health",
+                    {"drive": drive_id},
+                    STATE_CODES[state],
+                )
+            )
+            drive = getattr(self.clients[index], "drive", None)
+            online_samples.append(
+                Sample(
+                    "pesos_drive_online",
+                    {"drive": drive_id},
+                    int(bool(getattr(drive, "online", True))),
+                )
+            )
+        yield MetricFamily(
+            name="pesos_drive_health",
+            kind="gauge",
+            help="Circuit-breaker state per drive "
+                 "(0=closed, 1=half-open, 2=open).",
+            samples=health_samples,
+        )
+        yield MetricFamily(
+            name="pesos_drive_online",
+            kind="gauge",
+            help="Whether the drive reports online (1) or offline (0).",
+            samples=online_samples,
+        )
+        yield MetricFamily(
+            name="pesos_dirty_journal_keys",
+            kind="gauge",
+            help="Keys awaiting anti-entropy repair.",
+            samples=[
+                Sample("pesos_dirty_journal_keys", {}, len(self.journal))
+            ],
+        )
 
     # -- encryption ------------------------------------------------------------
 
@@ -252,16 +538,106 @@ class ObjectStore:
         return b"p/" + policy_id.encode()
 
     def read_meta(self, key: str) -> StoredMeta | None:
-        """Fetch object metadata from disk; None when absent."""
-        try:
-            blob = self._read_with_failover(key, self.meta_key(key))
-        except KineticNotFound:
+        """Fetch object metadata, freshest-of-a-quorum; None when absent.
+
+        The ``m/`` record is the only *mutable* key in the layout, so
+        reading a single replica is only sound when the write quorum
+        covers every replica.  With a relaxed quorum a lagging replica
+        holds an older record that decrypts perfectly well — staleness
+        is not corruption — so the store collects
+        ``n - write_quorum + 1`` definitive replies (data or a clean
+        "not found"), which is guaranteed to intersect every
+        acknowledged write, and returns the newest version.  Stale and
+        missing copies seen on the way are re-seeded inline and
+        journaled.  With the default full write quorum this degenerates
+        to the single-replica fast path.
+
+        When drive failures leave fewer definitive replies than the
+        freshness quorum needs, the read serves the newest *reachable*
+        copy instead of failing — the operator who relaxed the write
+        quorum chose availability — and the key stays journaled until
+        anti-entropy can audit it against the recovered fleet.
+        """
+        disk_key = self.meta_key(key)
+        aad = b"meta:" + key.encode()
+        instrumented = self.telemetry.enabled
+        started = _time.perf_counter() if instrumented else 0.0
+        replicas = self._replicas(key)
+        needed = len(replicas) - min(self.write_quorum, len(replicas)) + 1
+        drive_error: Exception | None = None
+        corrupt_error: Exception | None = None
+        found: list[tuple[int, StoredMeta]] = []
+        missing: list[int] = []   # live replicas answering "not found"
+        unreachable: list[int] = []
+        with self.telemetry.span("kinetic.get", key=key):
+            self.health.tick()
+            preferred = [i for i in replicas if self.health.allow(i)]
+            last_resort = [i for i in replicas if i not in preferred]
+            for index in preferred + last_resort:
+                try:
+                    blob, _version = self.clients[index].get(disk_key)
+                except (DriveOffline, TransientIOError) as exc:
+                    self.health.record_failure(index)
+                    self._m_replica_failures.labels("offline").inc()
+                    unreachable.append(index)
+                    drive_error = exc
+                    continue
+                except KineticNotFound:
+                    self.health.record_success(index)
+                    missing.append(index)
+                    continue
+                self.health.record_success(index)
+                try:
+                    plain = self._open(blob, aad)
+                except IntegrityError as exc:
+                    self._m_replica_failures.labels("corrupt").inc()
+                    unreachable.append(index)
+                    corrupt_error = exc
+                    continue
+                self.effects.record(DISK_READ, index, len(blob))
+                if instrumented:
+                    self._m_drive_bytes.labels("read").inc(len(blob))
+                found.append((index, StoredMeta.decode(plain)))
+                if len(found) + len(missing) >= needed:
+                    break
+        if instrumented:
+            self._h_drive_op.labels("read").observe(
+                _time.perf_counter() - started
+            )
+        if not found:
+            # Absence needs the same quorum as freshness; otherwise the
+            # data may live on a replica we could not reach.
+            if len(missing) >= needed:
+                return None
+            if corrupt_error is not None:
+                raise corrupt_error
+            if drive_error is not None:
+                raise drive_error
             return None
-        return StoredMeta.decode(self._open(blob, b"meta:" + key.encode()))
+        # found but fewer definitive replies than ``needed``: not
+        # provably fresh; fall through and serve the newest reachable
+        # copy (``unreachable`` is non-empty, so the key is journaled).
+        freshest = max(found, key=lambda item: item[1].current_version)[1]
+        stale = [
+            index for index, meta in found
+            if meta.current_version < freshest.current_version
+        ]
+        behind = stale + missing + unreachable
+        if behind:
+            self.journal.mark(KIND_OBJECT, key, behind)
+            sealed = self._seal(freshest.encode(), aad)
+            for index in stale + missing:
+                try:
+                    self.clients[index].put(disk_key, sealed, force=True)
+                except KineticError:
+                    continue
+                self.effects.record(DISK_WRITE, index, len(sealed))
+                self._m_read_repair.inc()
+        return freshest
 
     def write_meta(self, meta: StoredMeta) -> None:
         blob = self._seal(meta.encode(), b"meta:" + meta.key.encode())
-        self._write_all_replicas(meta.key, self.meta_key(meta.key), blob)
+        self._write_replicas(meta.key, self.meta_key(meta.key), blob)
 
     # -- object content ------------------------------------------------------------
 
@@ -270,14 +646,15 @@ class ObjectStore:
         aad = b"val:" + key.encode() + b":" + str(slot).encode()
         with self.telemetry.span("store.read_value", key=key,
                                  version=version):
-            blob = self._read_with_failover(key, self.value_key(key, slot))
-            return self._open(blob, aad)
+            return self._read_with_failover(
+                key, self.value_key(key, slot), aad=aad
+            )
 
     def write_value(self, key: str, version: int, value: bytes) -> None:
         slot = self._slot(version)
         aad = b"val:" + key.encode() + b":" + str(slot).encode()
         blob = self._seal(value, aad)
-        self._write_all_replicas(key, self.value_key(key, slot), blob)
+        self._write_replicas(key, self.value_key(key, slot), blob)
 
     def delete_value(self, key: str, version: int) -> None:
         self._delete_all_replicas(key, self.value_key(key, self._slot(version)))
@@ -357,7 +734,7 @@ class ObjectStore:
                         "ok" if digest == version_meta.content_hash
                         else "corrupt"
                     )
-                except DriveOffline:
+                except (DriveOffline, TransientIOError):
                     status = "offline"
                 except KineticNotFound:
                     status = "missing"
@@ -395,7 +772,7 @@ class ObjectStore:
                 self.clients[drive_index].put(disk_key, resealed, force=True)
                 self.effects.record(DISK_WRITE, drive_index, len(resealed))
                 repaired += 1
-            except DriveOffline:
+            except (DriveOffline, TransientIOError):
                 continue
         # Ensure the metadata record is present everywhere too.
         self.write_meta(meta)
@@ -406,16 +783,20 @@ class ObjectStore:
     def write_policy(self, policy_id: str, blob: bytes) -> None:
         aad = b"policy:" + policy_id.encode()
         sealed = self._seal(blob, aad)
-        self._write_all_replicas(policy_id, self.policy_key(policy_id), sealed)
+        self._write_replicas(
+            policy_id, self.policy_key(policy_id), sealed, kind=KIND_POLICY
+        )
 
     def read_policy(self, policy_id: str) -> bytes | None:
         try:
-            blob = self._read_with_failover(
-                policy_id, self.policy_key(policy_id)
+            return self._read_with_failover(
+                policy_id,
+                self.policy_key(policy_id),
+                aad=b"policy:" + policy_id.encode(),
+                kind=KIND_POLICY,
             )
         except KineticNotFound:
             return None
-        return self._open(blob, b"policy:" + policy_id.encode())
 
 
 class StoreBackedView(ObjectView):

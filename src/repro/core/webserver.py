@@ -11,15 +11,19 @@ paper's request flow.  Two front-ends share the parsing logic:
   :class:`ClientConnection` that decrypts requests, authenticates the
   client by certificate fingerprint, and encrypts responses.
 
-The server is also the admin surface for telemetry: ``GET /_metrics``
-returns the registry in Prometheus text format (``?format=json`` for
-JSON) and ``GET /_traces`` returns recent span trees plus the
-slow-request log.  Admin requests bypass request accounting so scrapes
-do not distort the serving metrics.
+The server is also the admin surface for telemetry and operations:
+``GET /_metrics`` returns the registry in Prometheus text format
+(``?format=json`` for JSON), ``GET /_traces`` returns recent span
+trees plus the slow-request log, and ``GET /_health`` reports
+per-drive breaker state and quorum standing (HTTP 503 once the fleet
+cannot meet the write quorum, so load balancers can eject the
+instance).  Admin requests bypass request accounting so scrapes do not
+distort the serving metrics.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from urllib.parse import parse_qs, urlparse
 
@@ -165,7 +169,11 @@ class WebServer:
                         request, fingerprint, now
                     )
                 except PesosError as exc:
-                    response = Response(status=exc.status, error=str(exc))
+                    response = Response(
+                        status=exc.status,
+                        error=str(exc),
+                        retry_after=getattr(exc, "retry_after", None),
+                    )
             self._m_responses.labels(str(response.status)).inc()
             if not response.ok:
                 self._m_errors.labels("response").inc()
@@ -178,12 +186,19 @@ class WebServer:
     # -- admin surface ----------------------------------------------------
 
     def _handle_admin(self, raw: bytes) -> bytes:
-        """Serve ``GET /_metrics`` and ``GET /_traces``."""
+        """Serve ``GET /_health``, ``GET /_metrics``, ``GET /_traces``."""
         request_line = raw.split(b"\r\n", 1)[0].decode("latin-1")
         parts = request_line.split(" ")
         target = parts[1] if len(parts) > 1 else ""
         parsed = urlparse(target)
         params = parse_qs(parsed.query)
+        if parsed.path == "/_health":
+            # Health must answer even with telemetry disabled: it is
+            # what the load balancer polls when things go wrong.
+            report = self.controller.health()
+            status = 503 if report["status"] == "critical" else 200
+            body = json.dumps(report, sort_keys=True).encode() + b"\n"
+            return _admin_response(status, "application/json", body)
         if not self.telemetry.enabled:
             return _admin_response(
                 503, "text/plain", b"telemetry disabled\n"

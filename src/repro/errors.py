@@ -78,6 +78,29 @@ class DriveOffline(KineticError):
     status = 503
 
 
+class TransientIOError(KineticError):
+    """A request was lost in flight (dropped connection, I/O hiccup).
+
+    Raised *before* the drive applied the operation, so retrying is
+    always safe; :class:`repro.kinetic.retry.RetryPolicy` retries these
+    by default.
+    """
+
+    status = 503
+
+
+class ReplicationDegraded(DriveOffline):
+    """A write could not reach its configured replica quorum.
+
+    Subclasses :class:`DriveOffline` so callers that already handle
+    total drive loss keep working; carries a ``retry_after`` hint the
+    REST layer surfaces as a ``Retry-After`` header.
+    """
+
+    status = 503
+    retry_after = 1.0
+
+
 # --------------------------------------------------------------------------
 # Policy engine
 # --------------------------------------------------------------------------

@@ -1,0 +1,26 @@
+"""Seeded fault injection for Kinetic drives (the chaos harness).
+
+Wraps drives in :class:`~repro.faults.injector.FaultyDrive` proxies
+driven by deterministic :class:`~repro.faults.schedule.FaultSchedule`
+timelines — crashes, transient offline windows, dropped connections,
+at-rest bit flips, and slow I/O — without touching the happy path.
+See ``docs/resilience.md`` for the full model.
+"""
+
+from repro.faults.injector import FaultInjector, FaultStats, FaultyDrive
+from repro.faults.schedule import (
+    NO_FAULT,
+    DriveFaultSpec,
+    FaultDecision,
+    FaultSchedule,
+)
+
+__all__ = [
+    "DriveFaultSpec",
+    "FaultDecision",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultStats",
+    "FaultyDrive",
+    "NO_FAULT",
+]

@@ -1,0 +1,140 @@
+"""Deterministic, seeded fault schedules for the chaos harness.
+
+A :class:`DriveFaultSpec` declares *what* can go wrong with one drive;
+a :class:`FaultSchedule` compiles it against a seed into a reproducible
+timeline.  Two clocks are involved:
+
+- **State windows** (crashes, transient offline spells) are expressed
+  on the injector's *global* operation clock, so "kill drive 1 between
+  ops 100 and 200 of the workload" means the same thing regardless of
+  which drive serves each op.
+- **Per-operation faults** (drops, corruption, slow I/O) are decided
+  on the drive's *local* operation counter through a counter-based
+  PRF over ``(seed, drive_id, local_op)``.  The decision for op N is a
+  pure function of those three values — never of call order — which is
+  what makes "same seed ⇒ identical fault timeline" hold even when
+  retries or failover change how traffic interleaves across drives.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """The faults injected into one drive operation."""
+
+    drop: bool = False
+    corrupt: bool = False
+    slow_seconds: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        return not (self.drop or self.corrupt or self.slow_seconds)
+
+
+#: Shared no-fault decision (the common case allocates nothing).
+NO_FAULT = FaultDecision()
+
+
+@dataclass(frozen=True)
+class DriveFaultSpec:
+    """Declarative fault plan for one drive.
+
+    All probabilities are per-operation; window bounds are global op
+    indexes with an exclusive end.  The default spec injects nothing,
+    so wrapping a drive with it leaves behaviour untouched.
+    """
+
+    #: Global op index at which the drive crashes; None = never.
+    crash_at: int | None = None
+    #: Global op index at which a crashed drive comes back; None =
+    #: stays down until someone calls ``recover()`` by hand.
+    recover_at: int | None = None
+    #: Extra transient offline spells: ``((start, end), ...)``.
+    offline_windows: tuple = ()
+    #: Drop every Nth operation on this drive (connection flake).
+    drop_every: int | None = None
+    #: Additional seeded per-op drop probability.
+    drop_rate: float = 0.0
+    #: Probability a GET finds its at-rest blob bit-flipped first.
+    corrupt_rate: float = 0.0
+    #: Probability an op is slow, and the virtual delay it then costs.
+    slow_rate: float = 0.0
+    slow_seconds: float = 0.01
+
+    def windows(self) -> list[tuple[float, float]]:
+        """All offline spells, crash included, as (start, end) spans."""
+        spans = [tuple(window) for window in self.offline_windows]
+        if self.crash_at is not None:
+            end = float("inf") if self.recover_at is None else self.recover_at
+            spans.append((self.crash_at, end))
+        return spans
+
+
+class FaultSchedule:
+    """One drive's compiled fault timeline for a given seed."""
+
+    def __init__(self, drive_id: str, spec: DriveFaultSpec, seed: int = 0):
+        self.drive_id = drive_id
+        self.spec = spec
+        self.seed = seed
+        self._windows = spec.windows()
+        self._randomized = bool(
+            spec.drop_rate or spec.corrupt_rate or spec.slow_rate
+        )
+
+    def scheduled_online(self, global_op: int) -> bool:
+        """Whether the schedule has this drive up at ``global_op``."""
+        return not any(
+            start <= global_op < end for start, end in self._windows
+        )
+
+    def _rng(self, local_op: int, salt: str = "") -> random.Random:
+        digest = hashlib.sha256(
+            f"{self.seed}:{self.drive_id}:{local_op}:{salt}".encode()
+        ).digest()
+        return random.Random(int.from_bytes(digest[:8], "big"))
+
+    def decide(self, local_op: int) -> FaultDecision:
+        """Fault decision for the drive's ``local_op``-th operation."""
+        spec = self.spec
+        drop = (
+            spec.drop_every is not None
+            and local_op % spec.drop_every == spec.drop_every - 1
+        )
+        corrupt = False
+        slow = 0.0
+        if self._randomized:
+            rng = self._rng(local_op)
+            drop = drop or rng.random() < spec.drop_rate
+            corrupt = rng.random() < spec.corrupt_rate
+            if rng.random() < spec.slow_rate:
+                slow = spec.slow_seconds
+        if not (drop or corrupt or slow):
+            return NO_FAULT
+        return FaultDecision(drop=drop, corrupt=corrupt, slow_seconds=slow)
+
+    def corruption_bit(self, local_op: int, nbytes: int) -> int:
+        """Deterministic bit position to flip in an ``nbytes`` blob."""
+        return self._rng(local_op, salt="bit").randrange(max(1, nbytes * 8))
+
+    def timeline(self, ops: int) -> list[tuple]:
+        """Materialize per-op fault events for the first ``ops`` ops.
+
+        The determinism tests compare these lists across schedule
+        instances built from the same seed.
+        """
+        events: list[tuple] = []
+        for op in range(ops):
+            decision = self.decide(op)
+            if decision.drop:
+                events.append((op, "drop"))
+            if decision.corrupt:
+                events.append((op, "corrupt"))
+            if decision.slow_seconds:
+                events.append((op, "slow", round(decision.slow_seconds, 9)))
+        return events

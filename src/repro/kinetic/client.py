@@ -12,6 +12,7 @@ structures.
 
 from __future__ import annotations
 
+import random
 from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass
@@ -28,6 +29,8 @@ from repro.errors import (
 )
 from repro.kinetic.drive import KineticDrive, Role
 from repro.kinetic.protocol import Message, MessageType, StatusCode
+from repro.kinetic.retry import RetryPolicy
+from repro.telemetry import NULL_TELEMETRY
 
 
 def _estimate_size(message: Message) -> int:
@@ -73,6 +76,10 @@ class KineticClient:
         now: float = 0.0,
         max_pending: int = 64,
         wire_codec: bool = True,
+        retry_policy: RetryPolicy | None = None,
+        retry_seed: int = 0,
+        sleeper: Callable[[float], None] | None = None,
+        telemetry=None,
     ):
         self.drive = drive
         self.identity = identity
@@ -87,6 +94,22 @@ class KineticClient:
         self.max_pending = max_pending
         self.requests_sent = 0
         self.bytes_on_wire = 0
+        #: Transient-error retry schedule; None disables retrying.
+        #: Backoff is accounted in ``retry_delay_seconds`` (virtual
+        #: time) and optionally fed to ``sleeper`` — the synchronous
+        #: API never blocks on its own.
+        self.retry_policy = retry_policy
+        self._retry_rng = random.Random(retry_seed)
+        self._sleeper = sleeper
+        self.retries = 0
+        self.retry_delay_seconds = 0.0
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self._m_retries = self.telemetry.counter(
+            "pesos_drive_retries_total",
+            "Kinetic requests retried after a transient error, by drive "
+            "and error class.",
+            ("drive", "error"),
+        )
         if trust_store is not None:
             certificate = drive.certificate
             if certificate is None:
@@ -108,8 +131,35 @@ class KineticClient:
         return message.sign(self._key)
 
     def _roundtrip(self, message_type: MessageType, body: dict) -> Message:
-        """Send one request and validate the response."""
+        """Send one request (retrying transient errors) and validate."""
         request = self._next_message(message_type, body)
+        policy = self.retry_policy
+        attempt = 1
+        while True:
+            try:
+                response = self._exchange(request)
+                break
+            except KineticError as exc:
+                if (
+                    policy is None
+                    or attempt >= policy.max_attempts
+                    or not isinstance(exc, policy.retry_on)
+                ):
+                    raise
+                delay = policy.delay(attempt, self._retry_rng)
+                attempt += 1
+                self.retries += 1
+                self.retry_delay_seconds += delay
+                self._m_retries.labels(
+                    self.drive.drive_id, type(exc).__name__
+                ).inc()
+                if self._sleeper is not None:
+                    self._sleeper(delay)
+        self._validate(request, response)
+        return response
+
+    def _exchange(self, request: Message) -> Message:
+        """One wire round trip (no retrying, no status validation)."""
         self.requests_sent += 1
         if self.wire_codec:
             # Encode/decode both ways: the real library serializes
@@ -119,12 +169,10 @@ class KineticClient:
             response = self.drive.handle(Message.decode(wire))
             response_wire = response.encode()
             self.bytes_on_wire += len(response_wire)
-            response = Message.decode(response_wire)
-        else:
-            self.bytes_on_wire += _estimate_size(request)
-            response = self.drive.handle(request)
-            self.bytes_on_wire += _estimate_size(response)
-        self._validate(request, response)
+            return Message.decode(response_wire)
+        self.bytes_on_wire += _estimate_size(request)
+        response = self.drive.handle(request)
+        self.bytes_on_wire += _estimate_size(response)
         return response
 
     def _validate(self, request: Message, response: Message) -> Message:

@@ -65,24 +65,47 @@ class DriveCluster:
         hmac_key: bytes,
         verify_certificates: bool = True,
         now: float = 0.0,
+        allow_degraded: bool = False,
+        min_online: int = 1,
+        retry_policy=None,
+        telemetry=None,
     ) -> list[KineticClient]:
         """Open one authenticated client per drive.
 
-        Raises :class:`DriveOffline` if any drive is down — bootstrap
-        requires exclusive control of the full configured set.
+        By default raises :class:`DriveOffline` if any drive is down —
+        bootstrap requires exclusive control of the full configured
+        set.  With ``allow_degraded`` a controller can start on a
+        partial fleet: clients are created for offline drives too (the
+        store's failover handles them), but fewer than ``min_online``
+        live drives — the read quorum — still refuses to bootstrap.
+
+        ``retry_policy`` and ``telemetry`` are handed to every client;
+        retry jitter is seeded per drive index so degraded runs stay
+        reproducible.
         """
-        trust = self.trust_store() if verify_certificates else None
-        clients = []
-        for drive in self.drives:
-            if not drive.online:
-                raise DriveOffline(f"{drive.drive_id} offline during connect")
-            clients.append(
-                KineticClient(
-                    drive=drive,
-                    identity=identity,
-                    hmac_key=hmac_key,
-                    trust_store=trust,
-                    now=now,
-                )
+        online = [drive for drive in self.drives if drive.online]
+        if not allow_degraded:
+            for drive in self.drives:
+                if not drive.online:
+                    raise DriveOffline(
+                        f"{drive.drive_id} offline during connect"
+                    )
+        elif len(online) < max(1, min_online):
+            raise DriveOffline(
+                f"only {len(online)}/{len(self.drives)} drives online; "
+                f"need {max(1, min_online)} even for degraded bootstrap"
             )
-        return clients
+        trust = self.trust_store() if verify_certificates else None
+        return [
+            KineticClient(
+                drive=drive,
+                identity=identity,
+                hmac_key=hmac_key,
+                trust_store=trust,
+                now=now,
+                retry_policy=retry_policy,
+                retry_seed=index,
+                telemetry=telemetry,
+            )
+            for index, drive in enumerate(self.drives)
+        ]

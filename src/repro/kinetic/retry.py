@@ -1,0 +1,50 @@
+"""Retry policy for the Kinetic client: budgeted backoff with jitter.
+
+Delays are *virtual*: the client accumulates them (and hands them to an
+optional sleeper callback) instead of blocking the process, so the
+bench harness can charge retries to simulated time and the test suite
+never sleeps.  Jitter comes from the client's own seeded RNG, keeping
+chaos runs reproducible.
+
+Only :class:`~repro.errors.TransientIOError` is retried by default: a
+drop happens before the drive applies the operation, so a retry can
+never double-apply.  ``DriveOffline`` is deliberately *not* in the
+default set — waiting out a dead drive is the object store's job
+(failover plus circuit breaker), not the connection's.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import TransientIOError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff schedule for transient drive errors."""
+
+    #: Total tries, including the first attempt.
+    max_attempts: int = 4
+    base_delay: float = 0.002
+    multiplier: float = 2.0
+    max_delay: float = 0.250
+    #: Fractional jitter added on top of the exponential delay.
+    jitter: float = 0.5
+    #: Exception classes worth retrying.
+    retry_on: tuple = (TransientIOError,)
+
+    def delay(self, attempt: int, rng: random.Random | None) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        base = min(
+            self.max_delay,
+            self.base_delay * self.multiplier ** (attempt - 1),
+        )
+        if not self.jitter:
+            return base
+        return base * (1.0 + self.jitter * rng.random())
+
+
+#: Policy that disables retrying while keeping the code path uniform.
+NO_RETRY = RetryPolicy(max_attempts=1)

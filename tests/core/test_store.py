@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.store import ObjectStore, StoredMeta, placement
-from repro.errors import ConfigurationError, DriveOffline
+from repro.errors import ConfigurationError, DriveOffline, ReplicationDegraded
 from repro.kinetic.cluster import DriveCluster
 from repro.kinetic.drive import KineticDrive
 
@@ -131,13 +131,34 @@ def test_read_fails_when_all_replicas_down():
         store.read_value("obj", 0)
 
 
-def test_write_survives_one_replica_down():
-    store, cluster = _store(num_drives=3, replication=2)
+def test_write_survives_one_replica_down_with_quorum_one():
+    store, cluster = _store(num_drives=3, replication=2, write_quorum=1)
     replicas = placement("obj", 3, 2)
     cluster.drive(replicas[1]).fail()
     meta = StoredMeta(key="obj")
     store.store_version(meta, b"data", "")  # succeeds on remaining replica
     assert store.read_value("obj", 0) == b"data"
+    # The partial write is journaled for anti-entropy.
+    assert ("object", "obj") in store.journal
+
+
+def test_default_quorum_refuses_partial_write():
+    """Every replica must persist by default; a partial write raises
+    ReplicationDegraded (a DriveOffline, so clients see a 503)."""
+    store, cluster = _store(num_drives=3, replication=2)
+    replicas = placement("obj", 3, 2)
+    cluster.drive(replicas[1]).fail()
+    with pytest.raises(ReplicationDegraded):
+        store.store_version(StoredMeta(key="obj"), b"data", "")
+    # The replica that did take the write diverges: journaled.
+    assert ("object", "obj") in store.journal
+
+
+def test_write_quorum_validated():
+    with pytest.raises(ConfigurationError):
+        _store(num_drives=3, replication=2, write_quorum=3)
+    with pytest.raises(ConfigurationError):
+        _store(num_drives=3, replication=2, write_quorum=0)
 
 
 def test_write_fails_when_all_replicas_down():

@@ -1,0 +1,78 @@
+"""Fault schedules: determinism is the whole point."""
+
+from repro.faults import NO_FAULT, DriveFaultSpec, FaultSchedule
+
+from tests.faults.conftest import CHAOS_SEED
+
+FLAKY = DriveFaultSpec(
+    drop_rate=0.05, corrupt_rate=0.02, slow_rate=0.1, slow_seconds=0.004
+)
+
+
+def test_same_seed_identical_timeline():
+    a = FaultSchedule("disk-0", FLAKY, CHAOS_SEED)
+    b = FaultSchedule("disk-0", FLAKY, CHAOS_SEED)
+    assert a.timeline(2000) == b.timeline(2000)
+
+
+def test_different_seed_different_timeline():
+    a = FaultSchedule("disk-0", FLAKY, CHAOS_SEED)
+    b = FaultSchedule("disk-0", FLAKY, CHAOS_SEED + 1)
+    assert a.timeline(2000) != b.timeline(2000)
+
+
+def test_different_drives_different_timelines():
+    """Per-drive PRF streams are independent, not shared state."""
+    a = FaultSchedule("disk-0", FLAKY, CHAOS_SEED)
+    b = FaultSchedule("disk-1", FLAKY, CHAOS_SEED)
+    assert a.timeline(2000) != b.timeline(2000)
+
+
+def test_decision_is_order_independent():
+    """decide(N) is a pure function of (seed, drive, N): evaluating
+    out of order, twice, or interleaved gives the same answers."""
+    schedule = FaultSchedule("disk-2", FLAKY, CHAOS_SEED)
+    forward = [schedule.decide(op) for op in range(500)]
+    backward = [schedule.decide(op) for op in reversed(range(500))]
+    assert forward == list(reversed(backward))
+
+
+def test_drop_every_nth():
+    schedule = FaultSchedule("disk-0", DriveFaultSpec(drop_every=5))
+    drops = [op for op in range(25) if schedule.decide(op).drop]
+    assert drops == [4, 9, 14, 19, 24]
+
+
+def test_default_spec_injects_nothing():
+    schedule = FaultSchedule("disk-0", DriveFaultSpec(), CHAOS_SEED)
+    assert schedule.timeline(1000) == []
+    # ...and takes the shared no-allocation fast path.
+    assert schedule.decide(123) is NO_FAULT
+
+
+def test_crash_and_recovery_windows():
+    spec = DriveFaultSpec(
+        crash_at=100, recover_at=200, offline_windows=((10, 20),)
+    )
+    schedule = FaultSchedule("disk-0", spec)
+    assert schedule.scheduled_online(9)
+    assert not schedule.scheduled_online(10)
+    assert not schedule.scheduled_online(19)
+    assert schedule.scheduled_online(20)
+    assert schedule.scheduled_online(99)
+    assert not schedule.scheduled_online(150)
+    assert schedule.scheduled_online(200)
+
+
+def test_crash_without_recovery_is_permanent():
+    schedule = FaultSchedule("disk-0", DriveFaultSpec(crash_at=50))
+    assert schedule.scheduled_online(49)
+    assert not schedule.scheduled_online(10**9)
+
+
+def test_corruption_bit_deterministic_and_in_range():
+    schedule = FaultSchedule("disk-0", FLAKY, CHAOS_SEED)
+    for nbytes in (1, 7, 4096):
+        bit = schedule.corruption_bit(42, nbytes)
+        assert bit == schedule.corruption_bit(42, nbytes)
+        assert 0 <= bit < nbytes * 8

@@ -40,6 +40,45 @@ def test_connect_all_fails_on_offline_drive():
         cluster.connect_all("demo", KineticDrive.DEMO_KEY)
 
 
+def test_connect_all_allow_degraded_covers_offline_drives():
+    """Degraded bootstrap still opens a client per drive — the store's
+    failover owns the offline ones — as long as the read quorum holds."""
+    cluster = DriveCluster(num_drives=3)
+    cluster.drive(1).fail()
+    clients = cluster.connect_all(
+        "demo", KineticDrive.DEMO_KEY, allow_degraded=True, min_online=2
+    )
+    assert len(clients) == 3
+    with pytest.raises(DriveOffline):
+        clients[1].put(b"k", b"v")
+    clients[0].put(b"k", b"v")
+
+
+def test_connect_all_degraded_still_needs_read_quorum():
+    cluster = DriveCluster(num_drives=3)
+    cluster.drive(0).fail()
+    cluster.drive(1).fail()
+    with pytest.raises(DriveOffline):
+        cluster.connect_all(
+            "demo", KineticDrive.DEMO_KEY, allow_degraded=True, min_online=2
+        )
+
+
+def test_connect_all_seeds_retry_jitter_per_drive():
+    from repro.kinetic.retry import RetryPolicy
+
+    cluster = DriveCluster(num_drives=2)
+    policy = RetryPolicy()
+    clients = cluster.connect_all(
+        "demo", KineticDrive.DEMO_KEY, retry_policy=policy
+    )
+    assert all(c.retry_policy is policy for c in clients)
+    # Per-index seeds: the two clients' jitter streams differ.
+    a = clients[0]._retry_rng.random()
+    b = clients[1]._retry_rng.random()
+    assert a != b
+
+
 def test_online_drives_filter():
     cluster = DriveCluster(num_drives=3)
     cluster.drive(0).fail()
