@@ -1,0 +1,41 @@
+"""Concurrency sweep: the green-thread request engine (§4.6).
+
+Acceptance shape: on an I/O-heavy mixed workload over 4 drives, the
+concurrent engine at 8 workers must deliver at least 1.5x the
+sequential (workers=1) virtual-time throughput, throughput must grow
+monotonically with workers, and a seeded run must reproduce its
+request ordering byte for byte.
+"""
+
+from benchmarks.conftest import emit
+from repro.bench.concurrency import run_trace
+from repro.bench.experiments import concurrency_sweep
+
+
+def test_concurrency_sweep(regenerate):
+    figure = regenerate(concurrency_sweep)
+    emit(figure)
+
+    series = figure.series["concurrency"]
+    by_workers = {workers: point for workers, point in series}
+    baseline = by_workers[1]
+
+    # Overlapping drive I/O must pay: >=1.5x sequential at 8 workers.
+    speedup = by_workers[8].throughput / baseline.throughput
+    assert speedup >= 1.5, f"8-worker speedup only {speedup:.2f}x"
+
+    # More workers never hurt on this workload.
+    rates = [point.throughput for _workers, point in series]
+    assert rates == sorted(rates), rates
+
+    # Wider rounds coalesce more adjacent same-drive operations.
+    assert by_workers[8].coalesced_calls > baseline.coalesced_calls
+
+    # Near-identical drive work regardless of interleaving (cache
+    # eviction order shifts a few reads between cache and drives).
+    drive_ops = [point.drive_ops for _workers, point in series]
+    assert max(drive_ops) - min(drive_ops) <= 0.05 * min(drive_ops), drive_ops
+
+
+def test_seeded_run_is_byte_reproducible():
+    assert run_trace() == run_trace()

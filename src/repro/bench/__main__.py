@@ -31,11 +31,12 @@ _RUNNERS = {
     "abl-syscalls": experiments.ablation_syscalls,
     "abl-caches": experiments.ablation_caches,
     "abl-epc": experiments.ablation_epc,
+    "concurrency": experiments.concurrency_sweep,
 }
 
 _DEFAULT = [
     "fig3+4", "fig5", "fig6", "enc", "fig7", "fig8", "fig9", "fig10",
-    "abl-syscalls", "abl-caches", "abl-epc",
+    "abl-syscalls", "abl-caches", "abl-epc", "concurrency",
 ]
 
 

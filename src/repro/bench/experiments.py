@@ -553,3 +553,31 @@ def ablation_epc(clients: int = 300) -> FigureResult:
             run_point(loaded, clients, measure_ops=_measure_ops()),
         )
     return figure
+
+
+# ---------------------------------------------------------------------------
+# Concurrency sweep: the green-thread request engine (§4.6)
+# ---------------------------------------------------------------------------
+
+def concurrency_sweep(config=None) -> FigureResult:
+    """Engine throughput vs hardware-thread count, in virtual time.
+
+    Unlike the figures above, this experiment runs the real request
+    path under the concurrent engine (:mod:`repro.bench.concurrency`)
+    instead of the discrete-event model; workers=1 is the sequential
+    baseline the speedups are measured against.
+    """
+    from repro.bench.concurrency import ConcurrencyConfig, run_concurrency_sweep
+
+    config = config or ConcurrencyConfig()
+    figure = FigureResult(
+        figure="Concurrency",
+        title="Request engine: throughput vs hardware threads",
+        x_label="workers",
+        paper_notes=[
+            "Scone-style userspace threading hides drive latency (§4.6)"
+        ],
+    )
+    for point in run_concurrency_sweep(config):
+        figure.add(config.name, point.workers, point)
+    return figure

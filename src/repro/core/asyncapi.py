@@ -46,6 +46,12 @@ class AsyncTracker:
         self._ids = itertools.count(1)
         self.issued = 0
         self.discarded = 0
+        #: Evictions that hit a still-PENDING entry: under load, a
+        #: burst of ``begin`` calls can push out an operation whose
+        #: execution has not finished yet.  Its eventual ``complete``
+        #: lands nowhere and the client sees ``ResultExpired`` —
+        #: correct per §4.1 (re-submit), but worth surfacing.
+        self.discarded_pending = 0
 
     def begin(self, fingerprint: str) -> OperationResult:
         """Register a new pending operation for a client."""
@@ -56,16 +62,20 @@ class AsyncTracker:
         self._results[operation_id] = entry
         self.issued += 1
         while len(self._results) > self.buffer_size:
-            self._results.popitem(last=False)
+            _, evicted = self._results.popitem(last=False)
             self.discarded += 1
+            if evicted.state == PENDING:
+                self.discarded_pending += 1
         return entry
 
-    def complete(self, operation_id: str, result: Any) -> None:
-        """Record the final result (no-op if already evicted)."""
+    def complete(self, operation_id: str, result: Any) -> bool:
+        """Record the final result; False if the entry was evicted."""
         entry = self._results.get(operation_id)
-        if entry is not None:
-            entry.state = DONE
-            entry.result = result
+        if entry is None:
+            return False
+        entry.state = DONE
+        entry.result = result
+        return True
 
     def query(self, operation_id: str, fingerprint: str) -> OperationResult:
         """Fetch an operation's state; enforces client ownership."""

@@ -36,6 +36,7 @@ from repro.core.effects import (
 from repro.core.request import Request, Response
 from repro.core.session import Session, SessionManager
 from repro.core.ssdcache import SSD_READ, SSD_WRITE
+from repro.core.locks import KeyLockTable
 from repro.core.store import ObjectStore, StoreBackedView, StoredMeta
 from repro.core.txn import Transaction, VllManager
 from repro.crypto.aead import StreamAead
@@ -192,11 +193,22 @@ class PesosController:
         #: Public keys of external authorities (time servers, group
         #: CAs) by fingerprint, available to certificateSays.
         self.authority_keys = dict(authority_keys or {})
+        #: Per-key locks for non-transactional requests.  Idle (and
+        #: free) under the sequential request path; the concurrent
+        #: engine acquires them so overlapping requests on the same
+        #: object stay serializable.  Wired to the VLL manager both
+        #: ways: transactional locks conflict with request locks, and
+        #: releasing a request lock drains the transaction queue.
+        self.request_locks = KeyLockTable()
         self.txns = VllManager(
-            self._execute_transaction, telemetry=self.telemetry
+            self._execute_transaction,
+            telemetry=self.telemetry,
+            request_locks=self.request_locks,
+        )
+        self.request_locks.bind(
+            conflicts=self.txns.holds, on_release=self.txns.notify_release
         )
         self.requests_handled = 0
-        self._tx_session_now: tuple = (None, 0.0)
         #: Controller identity used to sign storage attestations (§1:
         #: "cryptographic attestation for the stored objects and their
         #: associated policies").  A :class:`repro.crypto.certs.KeyPair`.
@@ -528,8 +540,18 @@ class PesosController:
     # ------------------------------------------------------------------
 
     def _handle_put(
-        self, request: Request, session: Session, now: float
+        self,
+        request: Request,
+        session: Session,
+        now: float,
+        enforce: bool | None = None,
     ) -> Response:
+        # ``enforce`` overrides config for this call only: transaction
+        # apply-phase writes were policy-checked in phase 1 and must
+        # not be re-checked — but toggling the *shared* config flag
+        # would leak the bypass into requests that overlap the commit.
+        if enforce is None:
+            enforce = self.config.enforce_policies
         self.effects.record(COPY, len(request.value))
         meta = self._get_meta(request.key) or StoredMeta(key=request.key)
 
@@ -551,7 +573,7 @@ class PesosController:
         elif not meta.exists:
             governing = bound_policy
 
-        if self.config.enforce_policies and governing is not None:
+        if enforce and governing is not None:
             pending = VersionInfo.from_content(request.value, bound_hash)
             ctx = self._build_context(
                 "update", request, session, meta, now, pending
@@ -750,7 +772,7 @@ class PesosController:
         self, request: Request, session: Session, now: float
     ) -> Response:
         tx = self.txns.get(request.txid, session.fingerprint)
-        self._tx_session_now = (session, now)
+        tx.session, tx.now = session, now
         tx = self.txns.commit(tx)
         if tx.state == "aborted":
             return Response(status=409, txid=tx.txid, error=tx.error)
@@ -779,7 +801,7 @@ class PesosController:
 
     def _execute_transaction(self, tx: Transaction) -> dict:
         """Atomic execution: check every policy, then apply every write."""
-        session, now = self._tx_session_now
+        session, now = tx.session, tx.now
         results: dict[str, bytes] = {}
 
         # Phase 1: policy checks (and reads) with no side effects.
@@ -817,14 +839,9 @@ class PesosController:
             staged.append(sub)
 
         # Phase 2: apply all writes (policies already granted).
-        enforce = self.config.enforce_policies
-        self.config.enforce_policies = False
-        try:
-            for sub in staged:
-                response = self._handle_put(sub, session, now)
-                results[f"write:{sub.key}"] = f"v{response.version}".encode()
-        finally:
-            self.config.enforce_policies = enforce
+        for sub in staged:
+            response = self._handle_put(sub, session, now, enforce=False)
+            results[f"write:{sub.key}"] = f"v{response.version}".encode()
         return results
 
     # ------------------------------------------------------------------

@@ -1,0 +1,436 @@
+"""Concurrent request execution engine (§4.6).
+
+Pesos gets its throughput from Scone's userspace threading: requests
+overlap drive I/O instead of idling through it.  This module puts that
+mechanism on the request path.  Each incoming request runs as a green
+thread on the :class:`~repro.sgx.scheduler.UserspaceScheduler`; every
+Kinetic drive operation becomes a *preemption point* — the green
+thread submits the call on the async syscall interface and yields, so
+other requests proceed while the I/O is "in flight".
+
+Three pieces make this work without rewriting the synchronous request
+path into generators:
+
+- :class:`ThreadTask` adapts a plain callable to the generator protocol
+  (``send``/``throw``) by running it on a private OS thread with strict
+  rendezvous handoff: exactly one thread — the scheduler's or one
+  task's — is ever runnable, so execution stays fully deterministic
+  and the existing scheduler drives it unchanged.
+- A client-level *interceptor* (:attr:`KineticClient.interceptor`)
+  routes ``get``/``put``/``delete`` through the engine: on a task
+  thread the call suspends and travels through
+  :class:`~repro.sgx.syscalls.AsyncSyscallInterface`; on the main
+  thread (bootstrap, load phases) it executes inline.
+- Per-key request locks (:class:`repro.core.locks.KeyLockTable`) keep
+  overlapping non-transactional operations on the same object
+  serializable, and cooperate with the VLL transaction queue.
+
+Dispatch order is driven by a seeded
+:class:`~repro.sgx.scheduler.DispatchSchedule`, so any interleaving a
+test or benchmark observes can be reproduced from its seed; adjacent
+drive operations to the same drive are coalesced into batched
+submissions before the untrusted worker runs.
+
+Virtual time: the engine charges a simple overlap-aware cost model
+(:class:`EngineTiming`) as it runs — drives serve their per-round
+batches in parallel, enclave CPU is serial — so benchmarks can compare
+concurrent against sequential execution in virtual seconds while the
+functional behaviour stays bit-exact.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from queue import SimpleQueue
+from typing import Any
+
+from repro.core.request import Request, Response
+from repro.errors import ConfigurationError
+from repro.sgx.scheduler import DispatchSchedule, UserspaceScheduler
+from repro.sgx.syscalls import AsyncSyscallInterface
+
+#: Lock mode per request method: ``"w"`` exclusive, ``"r"`` shared,
+#: absent = no request lock (transactions go through VLL; policies are
+#: content-addressed, so concurrent identical writes are idempotent).
+LOCK_MODES = {
+    "put": "w",
+    "delete": "w",
+    "get": "r",
+    "attest": "r",
+}
+
+
+class ThreadTask:
+    """Generator-protocol adapter running a callable on its own thread.
+
+    The scheduler calls :meth:`send`/:meth:`throw` exactly as it would
+    on a generator; the wrapped callable receives a :class:`TaskHandle`
+    whose :meth:`~TaskHandle.emit` plays the role of ``yield`` — and
+    works at *any* call depth, which is the whole point: the store's
+    drive calls can suspend the request without the request path being
+    generator-shaped.  Handoff is a strict rendezvous over two queues,
+    so at most one side is ever running.
+    """
+
+    def __init__(self, fn):
+        self._fn = fn
+        self._to_task: SimpleQueue = SimpleQueue()
+        self._from_task: SimpleQueue = SimpleQueue()
+        self._thread = threading.Thread(target=self._main, daemon=True)
+        self._started = False
+
+    def _main(self) -> None:
+        try:
+            result = self._fn(TaskHandle(self))
+        except BaseException as exc:  # noqa: BLE001 - re-raised in send()
+            self._from_task.put(("raise", exc))
+        else:
+            self._from_task.put(("return", result))
+
+    # -- generator protocol (scheduler side) ------------------------------
+
+    def send(self, value: Any) -> Any:
+        if not self._started:
+            self._started = True
+            self._thread.start()
+        else:
+            self._to_task.put(("value", value))
+        return self._receive()
+
+    def throw(self, error: BaseException) -> Any:
+        if not self._started:
+            raise error
+        self._to_task.put(("error", error))
+        return self._receive()
+
+    def _receive(self) -> Any:
+        kind, payload = self._from_task.get()
+        if kind == "yield":
+            return payload
+        if kind == "return":
+            stop = StopIteration()
+            stop.value = payload
+            raise stop
+        raise payload
+
+
+class TaskHandle:
+    """The task side of the rendezvous: ``emit`` == ``yield``."""
+
+    def __init__(self, task: ThreadTask):
+        self._task = task
+
+    def emit(self, value: Any) -> Any:
+        """Yield ``value`` to the scheduler; returns what it sends back."""
+        self._task._from_task.put(("yield", value))
+        kind, payload = self._task._to_task.get()
+        if kind == "error":
+            raise payload
+        return payload
+
+
+@dataclass
+class EngineTiming:
+    """Virtual-time cost model for engine runs.
+
+    Enclave CPU is serial (charged per dispatched segment); drives
+    serve their per-round batches in parallel with a fixed submission
+    overhead per *batched* submission — which is what coalescing saves
+    — plus a per-operation service time.
+    """
+
+    cpu_per_segment: float = 12e-6
+    drive_base: float = 200e-6
+    drive_per_op: float = 60e-6
+    syscall_submit: float = 1.1e-6
+
+
+@dataclass
+class _Item:
+    """One submitted request plus its bookkeeping."""
+
+    index: int
+    request: Request
+    fingerprint: str
+    now: float
+    response: Response | None = None
+    tid: int | None = None
+
+
+@dataclass
+class EngineStats:
+    requests: int = 0
+    rounds: int = 0
+    drive_ops: int = 0
+    batched_submissions: int = 0
+    coalesced_calls: int = 0
+    lock_spins: int = 0
+    virtual_seconds: float = 0.0
+    context_switches: int = 0
+
+    def snapshot(self) -> dict:
+        return dict(self.__dict__)
+
+
+class ConcurrentEngine:
+    """Runs batches of requests concurrently over one controller.
+
+    Usage::
+
+        engine = ConcurrentEngine(controller, seed=7, hardware_threads=8)
+        for request, fingerprint in batch:
+            engine.submit(request, fingerprint)
+        responses = engine.run()        # submission order
+        engine.close()
+
+    ``seed`` fixes the dispatch schedule: two engines built with the
+    same seed over equivalent controllers produce byte-identical
+    orderings (see :meth:`trace_bytes`).  ``hardware_threads`` is the
+    worker count — how many green threads advance per scheduling round
+    (1 degenerates to sequential execution with identical accounting,
+    which is the benchmark baseline).
+    """
+
+    def __init__(
+        self,
+        controller,
+        seed: int = 0,
+        hardware_threads: int = 8,
+        max_inflight: int = 32,
+        timing: EngineTiming | None = None,
+        coalesce: bool = True,
+    ):
+        if max_inflight < 1:
+            raise ConfigurationError("need at least one in-flight request")
+        self.controller = controller
+        self.seed = seed
+        self.timing = timing or EngineTiming()
+        self.coalesce = coalesce
+        self.syscalls = AsyncSyscallInterface(
+            num_slots=max(64, 2 * max_inflight),
+            telemetry=getattr(controller, "telemetry", None),
+        )
+        self.syscalls.register_handler("drive_op", self._exec_drive_op)
+        self.schedule = DispatchSchedule(seed)
+        self.scheduler = UserspaceScheduler(
+            self.syscalls,
+            hardware_threads=hardware_threads,
+            schedule=self.schedule,
+            before_worker=self._before_worker,
+        )
+        self.max_inflight = max_inflight
+        self.stats = EngineStats()
+        #: Completion order: ``(index, method, key, status, version)``
+        #: per finished request — the engine's linearization record.
+        self.completion_log: list[tuple] = []
+        self._items: list[_Item] = []
+        self._pending: deque[_Item] = deque()
+        self._local = threading.local()
+        self._locks = controller.request_locks
+        self._clients = list(controller.store.clients)
+        self._client_index = {
+            id(client): i for i, client in enumerate(self._clients)
+        }
+        self._last_switches = 0
+        controller.store.install_io_interceptor(self._io_interceptor)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Uninstall the drive interceptor (engine no longer usable)."""
+        self.controller.store.install_io_interceptor(None)
+
+    def __enter__(self) -> "ConcurrentEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- submission and execution -----------------------------------------
+
+    def submit(
+        self, request: Request, fingerprint: str = "fp", now: float = 0.0
+    ) -> int:
+        """Queue one request; returns its index into :meth:`run`'s result."""
+        item = _Item(
+            index=len(self._items),
+            request=request,
+            fingerprint=fingerprint,
+            now=now,
+        )
+        self._items.append(item)
+        self._pending.append(item)
+        return item.index
+
+    def run(self, max_rounds: int = 1_000_000) -> list[Response]:
+        """Execute everything submitted; responses in submission order."""
+        for _ in range(max_rounds):
+            self._admit()
+            alive = self.scheduler.step()
+            self.stats.rounds += 1
+            if not alive and not self._pending:
+                break
+        else:
+            raise ConfigurationError(
+                "engine did not converge (livelock?)"
+            )
+        self._surface_failures()
+        return [item.response for item in self._items]
+
+    def run_batch(
+        self,
+        requests: list,
+        fingerprint: str = "fp",
+        now: float = 0.0,
+    ) -> list[Response]:
+        """Convenience: submit a batch of requests and run it."""
+        for entry in requests:
+            if isinstance(entry, tuple):
+                request, fp = entry
+            else:
+                request, fp = entry, fingerprint
+            self.submit(request, fp, now=now)
+        return self.run()
+
+    def _admit(self) -> None:
+        """Keep up to ``max_inflight`` requests live on the scheduler."""
+        while self._pending and self.scheduler.alive < self.max_inflight:
+            item = self._pending.popleft()
+            task = ThreadTask(
+                lambda handle, item=item: self._serve(handle, item)
+            )
+            item.tid = self.scheduler.spawn(task).tid
+            self.stats.requests += 1
+
+    def _surface_failures(self) -> None:
+        """Map green-thread crashes to 500 responses, in order."""
+        threads = self.scheduler._threads
+        for item in self._items:
+            if item.response is None and item.tid is not None:
+                thread = threads.get(item.tid)
+                error = thread.error if thread is not None else None
+                item.response = Response(
+                    status=500,
+                    error=f"request thread failed: {error!r}",
+                )
+
+    # -- one request, as a green thread ------------------------------------
+
+    def _serve(self, handle: TaskHandle, item: _Item) -> Response:
+        self._local.handle = handle
+        request = item.request
+        mode = LOCK_MODES.get(request.method)
+        exclusive = mode == "w"
+        if mode is not None and request.key:
+            # Spin-yield acquisition: on contention, park for one
+            # scheduling round and retry.  Requests hold at most one
+            # key lock, so there is no hold-and-wait and no deadlock.
+            while not self._locks.try_acquire(request.key, exclusive):
+                self.stats.lock_spins += 1
+                handle.emit("yield")
+        try:
+            response = self.controller.handle(
+                request, item.fingerprint, item.now
+            )
+        finally:
+            if mode is not None and request.key:
+                self._locks.release(request.key, exclusive)
+        item.response = response
+        self.completion_log.append(
+            (
+                item.index,
+                request.method,
+                request.key or "",
+                response.status,
+                -1 if response.version is None else response.version,
+            )
+        )
+        return response
+
+    # -- drive I/O as preemption points ------------------------------------
+
+    def _io_interceptor(self, client, op: str, args: tuple, kwargs: dict):
+        handle = getattr(self._local, "handle", None)
+        if handle is None:
+            # Main thread (bootstrap, load phase, admin): inline.
+            return client.direct(op, *args, **kwargs)
+        index = self._client_index[id(client)]
+        return handle.emit(
+            ("syscall", "drive_op", (index, op, args, kwargs))
+        )
+
+    def _exec_drive_op(self, index: int, op: str, args: tuple, kwargs: dict):
+        """Untrusted-worker side: execute the real drive call."""
+        self.stats.drive_ops += 1
+        return self._clients[index].direct(op, *args, **kwargs)
+
+    # -- per-round hook: coalescing + virtual time -------------------------
+
+    def _drive_of(self, request) -> int:
+        return request.args[0]
+
+    def _before_worker(self) -> None:
+        ops_per_drive: dict[int, int] = {}
+        for slot_index in self.syscalls._submission:
+            slot = self.syscalls._slots[slot_index]
+            ops_per_drive[slot.args[0]] = (
+                ops_per_drive.get(slot.args[0], 0) + 1
+            )
+        if self.coalesce:
+            self.syscalls.coalesce_submissions(self._drive_of)
+            submissions = len(ops_per_drive)
+        else:
+            submissions = sum(ops_per_drive.values())
+        self.stats.batched_submissions = self.syscalls.batched_submissions
+        self.stats.coalesced_calls = self.syscalls.coalesced_calls
+
+        # Virtual time for this round: serial enclave CPU for every
+        # dispatched segment and syscall submission, then the drives
+        # serve their round batches in parallel with one another.  A
+        # coalesced batch pays the drive's base cost once; uncoalesced
+        # traffic pays it per operation.
+        timing = self.timing
+        switches = self.scheduler.total_context_switches
+        segments = switches - self._last_switches
+        self._last_switches = switches
+        self.stats.context_switches = switches
+        drive_seconds = 0.0
+        for count in ops_per_drive.values():
+            base = timing.drive_base * (1 if self.coalesce else count)
+            drive_seconds = max(
+                drive_seconds, base + count * timing.drive_per_op
+            )
+        self.stats.virtual_seconds += (
+            segments * timing.cpu_per_segment
+            + submissions * timing.syscall_submit
+            + drive_seconds
+        )
+
+    # -- reproducibility ----------------------------------------------------
+
+    @property
+    def virtual_time(self) -> float:
+        return self.stats.virtual_seconds
+
+    def dispatch_trace(self) -> list[tuple[str, int]]:
+        return list(self.scheduler.dispatch_log)
+
+    def trace_bytes(self) -> bytes:
+        """Canonical byte record of everything order-dependent.
+
+        Two runs with the same seed over equivalent controllers must
+        produce identical bytes; a differing seed almost surely will
+        not.  This is the artifact the determinism acceptance test
+        compares.
+        """
+        lines = [
+            "|".join(str(part) for part in entry)
+            for entry in self.completion_log
+        ]
+        lines.append("--dispatch--")
+        lines.extend(
+            f"{event}:{tid}" for event, tid in self.scheduler.dispatch_log
+        )
+        return "\n".join(lines).encode()

@@ -209,6 +209,19 @@ class ObjectStore:
 
     # -- placement and failover -------------------------------------------
 
+    def install_io_interceptor(self, interceptor) -> None:
+        """Route every client's data ops through ``interceptor``.
+
+        The concurrent request engine installs its preemption hook
+        here so each drive ``get``/``put``/``delete`` suspends the
+        calling green thread; ``None`` restores inline execution.
+        Store code is oblivious either way — the synchronous call
+        contract of :class:`repro.kinetic.client.KineticClient` holds
+        whether the call ran inline or through the async interface.
+        """
+        for client in self.clients:
+            client.interceptor = interceptor
+
     def _replicas(self, key: str) -> list[int]:
         return placement(key, len(self.clients), self.replication_factor)
 

@@ -9,10 +9,24 @@ held only by itself — so the front can always run.
 
 Unlike the original in-memory-database implementation, the lock table
 here is a small dict keyed by object keys, since only a fraction of
-keys are expected to see transactional access.  Non-transactional
-requests deliberately bypass the lock table; overlapping them with a
-transaction on the same keys is unspecified (the paper leaves
-avoidance to clients or policies).
+keys are expected to see transactional access.
+
+Since the concurrent request engine (:mod:`repro.core.engine`) lets
+commits overlap drive I/O, the manager is now overlap-aware:
+
+- Keys held by *currently executing* transactions are tracked
+  separately (``_running``), and :meth:`VllManager._drain_queue` only
+  runs the queue front when its locks are *truly exclusive* — held by
+  nobody but the front itself and transactions queued behind it (the
+  actual VLL invariant; the sequential code could assume any drain
+  point implied exclusivity).
+- Non-transactional requests take per-key locks in a
+  :class:`repro.core.locks.KeyLockTable` wired in via
+  ``request_locks``; commits treat those holds as conflicts, and
+  request-lock releases drain the queue.
+- Aborting a QUEUED transaction drains the queue after unlocking —
+  previously the released keys could leave a runnable front stalled
+  until an unrelated commit happened to drain.
 """
 
 from __future__ import annotations
@@ -43,6 +57,13 @@ class Transaction:
     writes: dict = field(default_factory=dict)  # key -> (value, policy_id)
     results: dict = field(default_factory=dict)
     error: str = ""
+    #: Execution context captured at commit time.  A queued transaction
+    #: may execute later, on whichever request thread drains the queue,
+    #: so the context must ride on the transaction itself (the old
+    #: controller-global ``_tx_session_now`` tuple was clobbered as
+    #: soon as two commits overlapped).
+    session: object = None
+    now: float = 0.0
 
     def keys(self) -> list:
         ordered = list(dict.fromkeys(self.reads))
@@ -70,10 +91,20 @@ class VllManager:
     """Lock table + transaction queue (exclusive locks only)."""
 
     def __init__(
-        self, executor: Callable[[Transaction], dict], telemetry=None
+        self,
+        executor: Callable[[Transaction], dict],
+        telemetry=None,
+        request_locks=None,
     ):
         self._executor = executor
         self._locks: dict[str, int] = {}
+        #: Keys held by transactions whose executor is running right
+        #: now (commits overlap under the concurrent engine).
+        self._running: dict[str, int] = {}
+        #: Optional :class:`repro.core.locks.KeyLockTable` holding the
+        #: non-transactional per-key request locks; holds there block
+        #: commits, and the table's release hook drains our queue.
+        self.request_locks = request_locks
         self._queue: deque[Transaction] = deque()
         self._transactions: dict[str, Transaction] = {}
         self._ids = itertools.count(1)
@@ -111,9 +142,15 @@ class VllManager:
         if tx.state == QUEUED:
             self._queue.remove(tx)
             self._unlock(tx)
-        elif tx.state != OPEN:
+            tx.state = ABORTED
+            # The keys just released may be all the queue front was
+            # waiting for; without this drain the followers stall
+            # until some unrelated commit happens to drain for them.
+            self._drain_queue()
+        elif tx.state == OPEN:
+            tx.state = ABORTED
+        else:
             raise TransactionError(f"cannot abort {tx.state} transaction")
-        tx.state = ABORTED
         self.aborted += 1
         self._m_outcomes.labels("client_abort").inc()
 
@@ -123,7 +160,10 @@ class VllManager:
         """Try to run ``tx``; it either executes now or queues."""
         tx._require_open()
         keys = tx.keys()
-        blocked = any(self._locks.get(key, 0) > 0 for key in keys)
+        blocked = any(
+            self._locks.get(key, 0) > 0 or self._request_locked(key)
+            for key in keys
+        )
         for key in keys:
             self._locks[key] = self._locks.get(key, 0) + 1
         if blocked:
@@ -135,7 +175,14 @@ class VllManager:
             self._drain_queue()
         return tx
 
+    def _request_locked(self, key: str) -> bool:
+        return self.request_locks is not None and self.request_locks.locked(
+            key
+        )
+
     def _run(self, tx: Transaction) -> None:
+        for key in tx.keys():
+            self._running[key] = self._running.get(key, 0) + 1
         with self.telemetry.span(
             "txn.execute", txid=tx.txid, keys=len(tx.keys())
         ):
@@ -149,6 +196,12 @@ class VllManager:
                 self.aborted += 1
                 self._m_outcomes.labels("aborted").inc()
             finally:
+                for key in tx.keys():
+                    remaining = self._running.get(key, 0) - 1
+                    if remaining <= 0:
+                        self._running.pop(key, None)
+                    else:
+                        self._running[key] = remaining
                 self._unlock(tx)
 
     def _unlock(self, tx: Transaction) -> None:
@@ -159,22 +212,48 @@ class VllManager:
             else:
                 self._locks[key] = remaining
 
+    def _front_exclusive(self, front: Transaction) -> bool:
+        """VLL invariant check: may the queue front execute *now*?
+
+        All other ``_locks`` holders of the front's keys are queued
+        behind it (queue order mirrors acquisition order), so those
+        never block it.  What does block it, once execution overlaps
+        drive I/O: a transaction still *running* on one of its keys,
+        or a non-transactional request holding the per-key lock.
+        """
+        return all(
+            self._running.get(key, 0) == 0
+            and not self._request_locked(key)
+            for key in front.keys()
+        )
+
     def _drain_queue(self) -> None:
-        # VLL guarantee: the queue front's keys are now held only by
-        # itself, so it can always execute; execution may in turn
-        # unblock the next front, so keep draining.
-        while self._queue:
+        # Run queued transactions front-first while the front's locks
+        # are truly exclusive; execution may in turn unblock the next
+        # front, so keep draining.  A front still blocked by a running
+        # transaction (or a request lock) stays queued — whoever
+        # releases that hold drains again.
+        while self._queue and self._front_exclusive(self._queue[0]):
             front = self._queue.popleft()
             front.state = OPEN
             self._run(front)
             self.executed_from_queue += 1
             self._m_queued.inc()
 
+    def notify_release(self, key: str) -> None:
+        """Request-lock release hook: a waiter may now be runnable."""
+        if self._queue:
+            self._drain_queue()
+
     # -- introspection ------------------------------------------------------------
 
     @property
     def queue_length(self) -> int:
         return len(self._queue)
+
+    def holds(self, key: str) -> bool:
+        """Whether any transaction (queued or running) locks ``key``."""
+        return self._locks.get(key, 0) > 0
 
     def locked_keys(self) -> set:
         return set(self._locks)

@@ -183,6 +183,61 @@ class WebServer:
         self._m_bytes.labels("out").inc(len(rendered))
         return rendered
 
+    # -- concurrent batch front-end ---------------------------------------
+
+    def handle_batch(
+        self,
+        items: list[tuple[bytes, str]],
+        seed: int = 0,
+        workers: int = 8,
+        now: float = 0.0,
+    ) -> list[bytes]:
+        """Serve many raw-HTTP requests concurrently; responses in order.
+
+        ``items`` is a list of ``(raw_bytes, fingerprint)`` pairs —
+        one per client connection with a request pending.  Requests are
+        parsed on the main thread (parse failures answer inline and
+        never reach the engine), then run as green threads on a
+        :class:`~repro.core.engine.ConcurrentEngine` whose dispatch
+        order is fixed by ``seed``; overlapping requests preempt each
+        other at every drive operation exactly as under real load.
+        """
+        from repro.core.engine import ConcurrentEngine
+
+        rendered: list[bytes | None] = [None] * len(items)
+        parsed: list[tuple[int, object, str]] = []
+        for index, (raw, fingerprint) in enumerate(items):
+            self._m_requests.inc()
+            self._m_bytes.labels("in").inc(len(raw))
+            try:
+                request = parse_http_request(raw)
+            except PesosError as exc:
+                response = Response(status=exc.status, error=str(exc))
+                self._m_responses.labels(str(response.status)).inc()
+                self._m_errors.labels("response").inc()
+                rendered[index] = render_http_response(response)
+            else:
+                parsed.append((index, request, fingerprint))
+
+        with ConcurrentEngine(
+            self.controller, seed=seed, hardware_threads=workers
+        ) as engine:
+            for _index, request, fingerprint in parsed:
+                engine.submit(request, fingerprint, now=now)
+            responses = engine.run()
+
+        for (index, _request, _fingerprint), response in zip(
+            parsed, responses
+        ):
+            self._m_responses.labels(str(response.status)).inc()
+            if not response.ok:
+                self._m_errors.labels("response").inc()
+            rendered[index] = render_http_response(response)
+        for raw_response in rendered:
+            assert raw_response is not None
+            self._m_bytes.labels("out").inc(len(raw_response))
+        return rendered  # type: ignore[return-value]
+
     # -- admin surface ----------------------------------------------------
 
     def _handle_admin(self, raw: bytes) -> bytes:

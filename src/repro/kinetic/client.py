@@ -80,11 +80,19 @@ class KineticClient:
         retry_seed: int = 0,
         sleeper: Callable[[float], None] | None = None,
         telemetry=None,
+        interceptor: Callable[..., Any] | None = None,
     ):
         self.drive = drive
         self.identity = identity
         self._key = hmac_key
         self._sequence = 0
+        #: When set, the data-path operations (``get``/``put``/
+        #: ``delete``) are routed through ``interceptor(client, op,
+        #: args, kwargs)`` instead of executing inline.  The concurrent
+        #: request engine uses this to suspend the calling green thread
+        #: and submit the call on the async syscall interface; the
+        #: interceptor executes the real call via :meth:`direct`.
+        self.interceptor = interceptor
         #: When False, frames skip the byte-level encode/decode round
         #: trip (messages stay signed and HMAC-verified).  Benchmarks
         #: use this to keep the functional hot path cheap; wire sizes
@@ -199,6 +207,15 @@ class KineticClient:
 
     # -- synchronous API -------------------------------------------------------
 
+    def direct(self, op: str, *args: Any, **kwargs: Any) -> Any:
+        """Execute a data-path op inline, bypassing the interceptor."""
+        return getattr(self, f"_{op}")(*args, **kwargs)
+
+    def _routed(self, op: str, *args: Any, **kwargs: Any) -> Any:
+        if self.interceptor is not None:
+            return self.interceptor(self, op, args, kwargs)
+        return getattr(self, f"_{op}")(*args, **kwargs)
+
     def put(
         self,
         key: bytes,
@@ -213,6 +230,20 @@ class KineticClient:
         With ``batch`` set, the operation is buffered on the drive
         until :meth:`end_batch` commits it (returns None).
         """
+        return self._routed(
+            "put", key, value, db_version=db_version,
+            new_version=new_version, force=force, batch=batch,
+        )
+
+    def _put(
+        self,
+        key: bytes,
+        value: bytes,
+        db_version: bytes = b"",
+        new_version: bytes | None = None,
+        force: bool = False,
+        batch: int | None = None,
+    ) -> bytes | None:
         body: dict[str, Any] = {
             "key": key,
             "value": value,
@@ -228,6 +259,9 @@ class KineticClient:
 
     def get(self, key: bytes) -> tuple[bytes, bytes]:
         """Fetch ``key``; returns ``(value, db_version)``."""
+        return self._routed("get", key)
+
+    def _get(self, key: bytes) -> tuple[bytes, bytes]:
         response = self._roundtrip(MessageType.GET, {"key": key})
         return response.body["value"], response.body["db_version"]
 
@@ -236,6 +270,17 @@ class KineticClient:
         return response.body["db_version"]
 
     def delete(
+        self,
+        key: bytes,
+        db_version: bytes = b"",
+        force: bool = False,
+        batch: int | None = None,
+    ) -> None:
+        self._routed(
+            "delete", key, db_version=db_version, force=force, batch=batch
+        )
+
+    def _delete(
         self,
         key: bytes,
         db_version: bytes = b"",

@@ -69,6 +69,7 @@ class DriveCluster:
         min_online: int = 1,
         retry_policy=None,
         telemetry=None,
+        interceptor=None,
     ) -> list[KineticClient]:
         """Open one authenticated client per drive.
 
@@ -81,7 +82,9 @@ class DriveCluster:
 
         ``retry_policy`` and ``telemetry`` are handed to every client;
         retry jitter is seeded per drive index so degraded runs stay
-        reproducible.
+        reproducible.  ``interceptor`` installs a shared data-path hook
+        on every client (the concurrent request engine's preemption
+        point; see :class:`repro.core.engine.ConcurrentEngine`).
         """
         online = [drive for drive in self.drives if drive.online]
         if not allow_degraded:
@@ -106,6 +109,7 @@ class DriveCluster:
                 retry_policy=retry_policy,
                 retry_seed=index,
                 telemetry=telemetry,
+                interceptor=interceptor,
             )
             for index, drive in enumerate(self.drives)
         ]

@@ -14,13 +14,45 @@ task with the result once the untrusted worker completes it.
 
 from __future__ import annotations
 
+import hashlib
+import itertools
 from collections import deque
-from collections.abc import Generator
+from collections.abc import Callable, Generator
 from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import ConfigurationError
 from repro.sgx.syscalls import AsyncSyscallInterface
+
+
+class DispatchSchedule:
+    """Seeded, replayable dispatch-order source.
+
+    Each scheduling decision — "which of the ``n`` runnable threads
+    runs next?" — is a pure function of ``(seed, decision counter)``
+    through a counter-based PRF, exactly like the fault schedules in
+    :mod:`repro.faults.schedule`.  Two schedules built from the same
+    seed therefore make identical choices, so any interleaving a test
+    or benchmark observes can be replayed from its seed alone.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._steps = itertools.count()
+
+    def pick(self, n: int) -> int:
+        """Index of the runnable thread to dispatch, in ``[0, n)``."""
+        step = next(self._steps)
+        if n <= 1:
+            return 0
+        digest = hashlib.sha256(
+            f"{self.seed}:{step}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") % n
+
+    def reset(self) -> None:
+        """Rewind the decision counter (fresh replay, same timeline)."""
+        self._steps = itertools.count()
 
 
 @dataclass
@@ -40,17 +72,33 @@ class UserspaceScheduler:
     """Round-robin cooperative scheduler over an async syscall interface."""
 
     def __init__(
-        self, syscalls: AsyncSyscallInterface, hardware_threads: int = 4
+        self,
+        syscalls: AsyncSyscallInterface,
+        hardware_threads: int = 4,
+        schedule: DispatchSchedule | None = None,
+        before_worker: Callable[[], None] | None = None,
     ):
         if hardware_threads < 1:
             raise ConfigurationError("need at least one hardware thread")
         self.syscalls = syscalls
         self.hardware_threads = hardware_threads
+        #: When set, dispatch order among runnable threads is driven by
+        #: this seeded schedule instead of plain FIFO; the log below
+        #: then replays identically for the same seed.
+        self.schedule = schedule
+        #: Hook run after a dispatch round, before the untrusted worker
+        #: drains the submission queue (used to coalesce submissions).
+        self.before_worker = before_worker
         self._threads: dict[int, GreenThread] = {}
         self._runnable: deque[int] = deque()
         self._blocked: dict[int, int] = {}  # slot -> tid
         self._next_tid = 0
         self.total_context_switches = 0
+        #: Every scheduling event, in order: ``("dispatch", tid)`` when
+        #: a runnable thread gets a hardware thread, ``("resume", tid)``
+        #: when a completed syscall unblocks one.  The replayable record
+        #: the determinism tests compare across runs.
+        self.dispatch_log: list[tuple[str, int]] = []
 
     def spawn(self, generator: Generator) -> GreenThread:
         """Register a new green thread; it runs on the next step."""
@@ -73,10 +121,13 @@ class UserspaceScheduler:
         """
         dispatched = 0
         while self._runnable and dispatched < self.hardware_threads:
-            tid = self._runnable.popleft()
+            tid = self._pick_runnable()
+            self.dispatch_log.append(("dispatch", tid))
             self._run_until_preemption(self._threads[tid], send_value=None)
             dispatched += 1
 
+        if self.before_worker is not None:
+            self.before_worker()
         # Outside the enclave: syscall threads execute submitted calls.
         self.syscalls.run_worker()
 
@@ -88,11 +139,22 @@ class UserspaceScheduler:
             tid = self._blocked.pop(request.slot)
             thread = self._threads[tid]
             thread.waiting_slot = None
+            self.dispatch_log.append(("resume", tid))
             if request.error is not None:
                 self._throw_into(thread, request.error)
             else:
                 self._run_until_preemption(thread, send_value=request.result)
         return self.alive > 0
+
+    def _pick_runnable(self) -> int:
+        """Next runnable tid: FIFO, or schedule-driven when seeded."""
+        if self.schedule is None or len(self._runnable) == 1:
+            return self._runnable.popleft()
+        index = self.schedule.pick(len(self._runnable))
+        self._runnable.rotate(-index)
+        tid = self._runnable.popleft()
+        self._runnable.rotate(index)
+        return tid
 
     def run_to_completion(self, max_rounds: int = 100_000) -> None:
         """Step until every green thread finishes."""

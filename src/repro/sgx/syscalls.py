@@ -72,6 +72,11 @@ class AsyncSyscallInterface:
         self._handlers: dict[str, Callable[..., Any]] = {}
         self.submitted = 0
         self.completed = 0
+        #: Batched-submission accounting (see :meth:`coalesce_submissions`):
+        #: how many grouped submissions the untrusted worker received,
+        #: and how many individual calls rode along in an existing group.
+        self.batched_submissions = 0
+        self.coalesced_calls = 0
         self.telemetry = telemetry or NULL_TELEMETRY
         self._m_syscalls = self.telemetry.counter(
             "pesos_sgx_syscalls_total",
@@ -103,6 +108,36 @@ class AsyncSyscallInterface:
             self._returns.append(slot_index)
             executed += 1
         return executed
+
+    def coalesce_submissions(
+        self, key_fn: Callable[[SyscallRequest], Any]
+    ) -> int:
+        """Stably group queued submissions by ``key_fn`` before the worker.
+
+        Calls heading to the same destination (e.g. the same Kinetic
+        drive) become one *batched submission*: the queue is reordered
+        so equal-key entries are adjacent — first-appearance order of
+        keys and the relative order within a key are both preserved, so
+        the result is a pure function of the queue contents and the
+        grouping stays replayable.  Returns the number of groups; the
+        ``batched_submissions`` / ``coalesced_calls`` counters record
+        how much submission traffic the batching saved.
+        """
+        if len(self._submission) < 2:
+            groups = len(self._submission)
+            self.batched_submissions += groups
+            return groups
+        buckets: dict[Any, list[int]] = {}
+        for slot_index in self._submission:
+            request = self._slots[slot_index]
+            assert request is not None, "submitted slot must be populated"
+            buckets.setdefault(key_fn(request), []).append(slot_index)
+        self._submission.clear()
+        for slots in buckets.values():
+            self._submission.extend(slots)
+            self.batched_submissions += 1
+            self.coalesced_calls += len(slots) - 1
+        return len(buckets)
 
     # -- enclave side -------------------------------------------------------
 

@@ -1,0 +1,70 @@
+"""AsyncTracker under load: evicting still-PENDING operations.
+
+A burst of asynchronous submissions can push an operation out of the
+result buffer before its execution finishes.  The client must then see
+``ResultExpired`` (re-submit, per §4.1) — never a stale or phantom
+state — and the tracker must account the pending eviction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.asyncapi import AsyncTracker, DONE, PENDING
+from repro.errors import ResultExpired
+
+
+def test_pending_eviction_is_counted_and_expires():
+    tracker = AsyncTracker(buffer_size=4)
+    first = tracker.begin("fp")
+    assert first.state == PENDING
+
+    # A burst of new submissions evicts the still-pending first op.
+    others = [tracker.begin("fp") for _ in range(4)]
+    assert len(tracker) == 4
+    assert tracker.discarded == 1
+    assert tracker.discarded_pending == 1
+
+    with pytest.raises(ResultExpired):
+        tracker.query(first.operation_id, "fp")
+
+    # Its late completion lands nowhere and says so.
+    assert tracker.complete(first.operation_id, "late-result") is False
+    with pytest.raises(ResultExpired):
+        tracker.query(first.operation_id, "fp")
+
+    # Survivors are unaffected.
+    assert tracker.complete(others[-1].operation_id, "ok") is True
+    assert tracker.query(others[-1].operation_id, "fp").state == DONE
+
+
+def test_done_eviction_not_counted_as_pending():
+    tracker = AsyncTracker(buffer_size=2)
+    first = tracker.begin("fp")
+    tracker.complete(first.operation_id, "r1")
+    tracker.begin("fp")
+    tracker.begin("fp")  # evicts first, which already completed
+    assert tracker.discarded == 1
+    assert tracker.discarded_pending == 0
+
+
+def test_eviction_under_sustained_load():
+    tracker = AsyncTracker(buffer_size=8)
+    entries = [tracker.begin("fp") for _ in range(50)]
+    # Only the newest buffer_size operations survive.
+    assert len(tracker) == 8
+    assert tracker.discarded == 42
+    assert tracker.discarded_pending == 42
+    for entry in entries[:-8]:
+        with pytest.raises(ResultExpired):
+            tracker.query(entry.operation_id, "fp")
+    for entry in entries[-8:]:
+        assert tracker.query(entry.operation_id, "fp").state == PENDING
+
+
+def test_cross_client_query_expires_not_leaks():
+    tracker = AsyncTracker(buffer_size=8)
+    entry = tracker.begin("fp-alice")
+    tracker.complete(entry.operation_id, "secret")
+    with pytest.raises(ResultExpired):
+        tracker.query(entry.operation_id, "fp-mallory")

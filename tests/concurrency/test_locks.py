@@ -1,0 +1,166 @@
+"""Property tests for the per-key request-lock layer.
+
+The lock table must never deadlock the cooperative scheduler (requests
+spin-yield instead of blocking, and multi-key acquisition is
+all-or-nothing), must keep reader/writer exclusion, and must always be
+empty once every holder has released.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis ships in CI
+    HAVE_HYPOTHESIS = False
+
+from repro.core.locks import KeyLockTable
+from repro.sgx.scheduler import DispatchSchedule, UserspaceScheduler
+from repro.sgx.syscalls import AsyncSyscallInterface
+
+KEYS = ["a", "b", "c"]
+
+
+def test_exclusive_excludes_everything():
+    table = KeyLockTable()
+    assert table.try_acquire("k", exclusive=True)
+    assert not table.try_acquire("k", exclusive=True)
+    assert not table.try_acquire("k", exclusive=False)
+    table.release("k", exclusive=True)
+    assert len(table) == 0
+
+
+def test_shared_holds_overlap_but_block_writers():
+    table = KeyLockTable()
+    assert table.try_acquire("k", exclusive=False)
+    assert table.try_acquire("k", exclusive=False)
+    assert not table.try_acquire("k", exclusive=True)
+    table.release("k", exclusive=False)
+    assert not table.try_acquire("k", exclusive=True)
+    table.release("k", exclusive=False)
+    assert table.try_acquire("k", exclusive=True)
+
+
+def test_release_of_never_taken_lock_raises():
+    table = KeyLockTable()
+    with pytest.raises(KeyError):
+        table.release("ghost", exclusive=True)
+    table.try_acquire("k", exclusive=False)
+    with pytest.raises(KeyError):
+        table.release("other", exclusive=False)
+
+
+def test_try_acquire_all_rolls_back_on_conflict():
+    table = KeyLockTable()
+    assert table.try_acquire("b", exclusive=True)
+    assert not table.try_acquire_all(["a", "b", "c"], exclusive=True)
+    # The partial grab of "a" must have been rolled back.
+    assert not table.locked("a")
+    assert not table.locked("c")
+    table.release("b", exclusive=True)
+    assert table.try_acquire_all(["a", "b", "c"], exclusive=True)
+    table.release_all(["a", "b", "c"], exclusive=True)
+    assert len(table) == 0
+
+
+def test_conflicts_callback_blocks_both_modes():
+    vetoed = {"hot"}
+    table = KeyLockTable(conflicts=lambda key: key in vetoed)
+    assert not table.try_acquire("hot", exclusive=True)
+    assert not table.try_acquire("hot", exclusive=False)
+    assert table.try_acquire("cold", exclusive=True)
+    vetoed.clear()
+    assert table.try_acquire("hot", exclusive=True)
+
+
+def test_on_release_fires_per_release():
+    released = []
+    table = KeyLockTable(on_release=released.append)
+    table.try_acquire("k", exclusive=False)
+    table.try_acquire("k", exclusive=False)
+    table.release("k", exclusive=False)
+    table.release("k", exclusive=False)
+    assert released == ["k", "k"]
+
+
+if HAVE_HYPOTHESIS:
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        steps=st.lists(
+            st.tuples(
+                st.sampled_from(KEYS), st.booleans(), st.booleans()
+            ),
+            max_size=60,
+        )
+    )
+    def test_random_acquire_release_never_corrupts(steps):
+        """Random single-key traffic: exclusion invariants always hold.
+
+        Each step (key, exclusive, hold) tries one acquisition and, per
+        ``hold``, either releases it immediately or keeps it; kept
+        holds release at the end, after which the table must be empty.
+        """
+        table = KeyLockTable()
+        held: list[tuple[str, bool]] = []
+        for key, exclusive, hold in steps:
+            if table.try_acquire(key, exclusive):
+                if hold:
+                    held.append((key, exclusive))
+                else:
+                    table.release(key, exclusive)
+            # Exclusion invariant after every step: a key is never
+            # both shared and exclusive.
+            for probe in KEYS:
+                shared = bool(table._shared.get(probe, 0))
+                assert not (shared and probe in table._exclusive)
+        for key, exclusive in reversed(held):
+            table.release(key, exclusive)
+        assert len(table) == 0
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5, 6, 7])
+def test_green_threads_never_deadlock(seed):
+    """Random lock traffic from green threads drains to quiescence.
+
+    Each green thread performs a seeded sequence of multi-key
+    all-or-nothing acquisitions with spin-yield retry, holds the keys
+    across a few reschedules, then releases.  Under any dispatch
+    schedule the run must finish (no deadlock, no livelock within the
+    round bound) with the table empty.
+    """
+    table = KeyLockTable()
+    scheduler = UserspaceScheduler(
+        AsyncSyscallInterface(num_slots=4),
+        hardware_threads=4,
+        schedule=DispatchSchedule(seed),
+    )
+
+    def worker(worker_seed):
+        rng = random.Random(worker_seed)
+        for _ in range(6):
+            keys = sorted(
+                rng.sample(KEYS, rng.randrange(1, len(KEYS) + 1))
+            )
+            exclusive = rng.random() < 0.6
+            while not table.try_acquire_all(keys, exclusive):
+                yield "yield"
+            for _ in range(rng.randrange(3)):
+                yield "yield"
+            table.release_all(keys, exclusive)
+        return "done"
+
+    threads = [
+        scheduler.spawn(worker(seed * 100 + index)) for index in range(8)
+    ]
+    scheduler.run_to_completion(max_rounds=10_000)
+    assert all(thread.result == "done" for thread in threads)
+    assert all(thread.error is None for thread in threads)
+    assert len(table) == 0
+    assert table.acquisitions >= 8 * 6

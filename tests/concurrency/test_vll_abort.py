@@ -1,0 +1,102 @@
+"""Aborting a QUEUED transaction must wake its queue followers.
+
+Regression test: ``VllManager.abort`` released the aborted
+transaction's locks but never drained the queue, so a follower whose
+only conflict was the aborted transaction stayed QUEUED until some
+unrelated commit happened to drain for it — forever, on a quiet
+system.  The sequential request path could not observe the stall (the
+queue was always drained before the outermost commit returned), but
+any out-of-band lock holder — a concurrent request holding a key lock,
+or another queued transaction — makes it reachable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.locks import KeyLockTable
+from repro.core.txn import QUEUED, VllManager
+from repro.errors import TransactionError
+
+
+def run_writes(tx):
+    return {key: b"done" for key in tx.keys()}
+
+
+def make_queued_pair(manager):
+    """Two transactions on "x", both queued behind an external hold."""
+    blocked = manager.create("fp")
+    blocked.add_write("x", b"1")
+    follower = manager.create("fp")
+    follower.add_write("x", b"2")
+    manager.commit(blocked)
+    manager.commit(follower)
+    assert blocked.state == QUEUED
+    assert follower.state == QUEUED
+    return blocked, follower
+
+
+def test_abort_of_queued_tx_drains_followers():
+    manager = VllManager(run_writes)
+    # Simulate an in-flight lock holder on "x" the way the lock table
+    # sees one mid-overlap: the count is up but no queued transaction
+    # owns it (pre-fix, only a *commit* ever drained the queue).
+    manager._locks["x"] = manager._locks.get("x", 0) + 1
+    blocked, follower = make_queued_pair(manager)
+    manager._locks["x"] -= 1  # the external holder finishes
+
+    manager.abort(blocked)
+
+    assert blocked.state == "aborted"
+    assert follower.state == "committed", (
+        "follower stayed QUEUED after its only blocker aborted"
+    )
+    assert manager.queue_length == 0
+    assert manager.locked_keys() == set()
+
+
+def test_abort_drain_respects_running_transactions():
+    manager = VllManager(run_writes)
+    # A transaction mid-execution on "x" (its commit overlaps drive
+    # I/O under the engine): lock count up AND marked running, exactly
+    # as ``_run`` tracks it.
+    manager._locks["x"] = manager._locks.get("x", 0) + 1
+    manager._running["x"] = 1
+    blocked, follower = make_queued_pair(manager)
+
+    # Blocker still executing: the abort must NOT run the follower.
+    manager.abort(blocked)
+    assert follower.state == QUEUED
+
+    # The running transaction finishes; its unlock path drains.
+    manager._running.pop("x")
+    manager._locks["x"] -= 1
+    manager._drain_queue()
+    assert follower.state == "committed"
+
+
+def test_abort_via_request_lock_wiring():
+    """End-to-end over the real lock table, as the engine wires it."""
+    table = KeyLockTable()
+    manager = VllManager(run_writes, request_locks=table)
+    table.bind(conflicts=manager.holds, on_release=manager.notify_release)
+
+    assert table.try_acquire("x", exclusive=True)  # a concurrent put
+    blocked, follower = make_queued_pair(manager)
+
+    manager.abort(blocked)
+    assert follower.state == QUEUED  # request lock still held
+
+    table.release("x", exclusive=True)  # put finishes -> drain fires
+    assert follower.state == "committed"
+    assert manager.queue_length == 0
+
+
+def test_abort_states():
+    manager = VllManager(run_writes)
+    open_tx = manager.create("fp")
+    open_tx.add_write("y", b"1")
+    manager.abort(open_tx)
+    assert open_tx.state == "aborted"
+    with pytest.raises(TransactionError):
+        manager.abort(open_tx)
