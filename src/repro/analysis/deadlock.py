@@ -1,0 +1,95 @@
+"""Lock-order-graph deadlock detection over a shadow-state stream.
+
+A schedule that *happened* not to deadlock proves nothing; what proves
+deadlock-freedom is the absence of cycles in the lock-order graph.
+The detector replays the event stream and adds a directed edge
+``a -> b`` whenever a thread acquires lock ``b`` while already holding
+``a``.  A cycle in that graph means two threads can acquire the same
+locks in opposite orders — a potential deadlock, even if every
+observed schedule got lucky.
+
+Two refinements match the engine's locking discipline:
+
+- Atomic group acquisitions (``acquire_group`` — VLL takes all of a
+  transaction's locks at once) create no edges *among* the group's
+  members: all-or-nothing acquisition cannot hold-and-wait on itself.
+  Edges from locks held *before* the group to each member still apply.
+- Re-acquisition of a lock already held by the same thread (reentrant
+  counting) creates no self-edge.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analysis.findings import Finding
+from repro.analysis.sanitizer import replay_locksets
+
+
+def build_lock_order_graph(events: list[tuple]) -> dict:
+    """``lock -> {later_lock: example_tid}`` acquisition-order edges."""
+    graph: dict[Any, dict[Any, int]] = {}
+    for event, held in replay_locksets(events):
+        kind = event[0]
+        if kind == "acquire":
+            _, tid, lock_id, _mode = event
+            new_locks = (lock_id,)
+        elif kind == "acquire_group":
+            _, tid, lock_ids = event
+            new_locks = tuple(lock_ids)
+        else:
+            continue
+        group = set(new_locks)
+        for held_lock in held.get(tid, ()):
+            if held_lock in group:
+                continue  # reentrant / group self-edge
+            edges = graph.setdefault(held_lock, {})
+            for new_lock in new_locks:
+                edges.setdefault(new_lock, tid)
+    return graph
+
+
+def _cycles(graph: dict) -> list[tuple]:
+    """Every elementary cycle, canonicalized (smallest node first)."""
+    cycles: set[tuple] = set()
+    nodes = sorted(graph, key=repr)
+
+    def walk(node: Any, path: list, on_path: set) -> None:
+        for successor in graph.get(node, ()):
+            if successor in on_path:
+                start = path.index(successor)
+                cycle = tuple(path[start:])
+                rotation = min(
+                    range(len(cycle)), key=lambda i: repr(cycle[i])
+                )
+                cycles.add(cycle[rotation:] + cycle[:rotation])
+                continue
+            path.append(successor)
+            on_path.add(successor)
+            walk(successor, path, on_path)
+            on_path.discard(successor)
+            path.pop()
+
+    for node in nodes:
+        walk(node, [node], {node})
+    return sorted(cycles, key=repr)
+
+
+def find_deadlocks(events: list[tuple]) -> list[Finding]:
+    """One finding per distinct lock-order cycle in the stream."""
+    graph = build_lock_order_graph(events)
+    findings = []
+    for cycle in _cycles(graph):
+        chain = " -> ".join(repr(lock) for lock in cycle + (cycle[0],))
+        findings.append(
+            Finding(
+                rule="deadlock/lock-order",
+                message=(
+                    f"lock-order cycle {chain}: threads acquire these "
+                    "locks in conflicting orders, so some schedule "
+                    "deadlocks even though this one did not"
+                ),
+                context={"cycle": [repr(lock) for lock in cycle]},
+            )
+        )
+    return findings

@@ -1,0 +1,115 @@
+"""The common finding model shared by every analyzer.
+
+A :class:`Finding` is one reportable defect: a rule identifier (stable,
+documented in ``docs/static-analysis.md``), a human message, and an
+optional source location.  Analyzers return lists of findings; the CLI
+(:mod:`repro.analysis.__main__`) aggregates, renders, and decides the
+exit code.
+
+Suppression: a source line carrying ``# pesos: allow[rule-id]`` (on the
+flagged line or the line directly above it) silences lint findings for
+that rule at that location.  The pragma is deliberately explicit — an
+auditor greps for ``pesos: allow`` and reviews every exemption.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+
+#: Severity levels, most severe first (sort key for reports).
+SEVERITIES = ("error", "warning")
+
+_PRAGMA = re.compile(r"#\s*pesos:\s*allow\[([a-z0-9/_-]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One defect reported by an analyzer."""
+
+    rule: str
+    message: str
+    file: str = ""
+    line: int = 0
+    severity: str = "error"
+    #: Free-form structured context (clause index, lock cycle, ...).
+    context: dict = field(default_factory=dict, compare=False)
+
+    def location(self) -> str:
+        if self.file and self.line:
+            return f"{self.file}:{self.line}"
+        return self.file or "<policy>"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "file": self.file,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+def suppressed_rules(source_lines: list[str], line: int) -> set[str]:
+    """Rules allowed at 1-based ``line`` via ``# pesos: allow[...]``."""
+    allowed: set[str] = set()
+    for candidate in (line, line - 1):
+        if 1 <= candidate <= len(source_lines):
+            allowed.update(_PRAGMA.findall(source_lines[candidate - 1]))
+    return allowed
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    order = {name: rank for rank, name in enumerate(SEVERITIES)}
+    return sorted(
+        findings,
+        key=lambda f: (order.get(f.severity, len(order)), f.file, f.line, f.rule),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Rendering (CLI + CI job summary)
+# ---------------------------------------------------------------------------
+
+def render_text(findings: list[Finding]) -> str:
+    if not findings:
+        return "no findings"
+    lines = [
+        f"{f.location()}: {f.severity}[{f.rule}] {f.message}"
+        for f in sort_findings(findings)
+    ]
+    lines.append(f"{len(findings)} finding(s)")
+    return "\n".join(lines)
+
+
+def render_json_report(findings: list[Finding]) -> str:
+    return json.dumps(
+        {
+            "findings": [f.to_dict() for f in sort_findings(findings)],
+            "count": len(findings),
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def render_markdown(findings: list[Finding]) -> str:
+    """GitHub-flavoured markdown for the CI job summary."""
+    if not findings:
+        return "### Static analysis\n\nNo findings. :white_check_mark:\n"
+    lines = [
+        "### Static analysis",
+        "",
+        f"**{len(findings)} finding(s)**",
+        "",
+        "| Severity | Rule | Location | Message |",
+        "| --- | --- | --- | --- |",
+    ]
+    for f in sort_findings(findings):
+        message = f.message.replace("|", "\\|")
+        lines.append(
+            f"| {f.severity} | `{f.rule}` | `{f.location()}` | {message} |"
+        )
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,368 @@
+"""Project-specific AST lint rules.
+
+These are not style rules — each one guards an invariant the test
+suite depends on but cannot easily assert:
+
+``det-wall-clock``
+    No ``time.time()`` / ``time.monotonic()`` / ``datetime.now()``
+    outside ``bench/__main__.py``.  The engine is deterministic only
+    because every timestamp flows from the virtual clock; one stray
+    wall-clock read breaks replayability silently.
+``det-unseeded-random``
+    No module-level ``random.*`` calls (the process-global, unseeded
+    RNG).  Randomness must come from a ``random.Random(seed)`` instance
+    threaded through explicitly.
+``sgx-enclave-io``
+    Nothing under ``sgx/`` performs direct I/O (``socket``, ``os``
+    file descriptors, builtin ``open``) except the syscall model
+    (``sgx/syscalls.py``).  The enclave boundary is the point of the
+    model; in-enclave I/O would bypass the transition accounting.
+``core-drive-io``
+    ``core/`` code never calls a drive client's ``.direct(...)``
+    bypass.  All drive traffic must flow through the interceptor so
+    the scheduler sees every preemption point.  The engine's two
+    legitimate call sites (the interceptor itself) carry pragmas.
+``core-no-swallow``
+    No ``except Exception:`` / bare ``except:`` handler whose body
+    lacks a ``raise``.  Swallowed faults turn corruption into silence;
+    handlers must narrow the type, re-raise, or both.
+``telemetry-label-cardinality``
+    ``.labels(...)`` arguments must be bounded: no f-strings,
+    ``%``/``.format`` formatting, or values named after unbounded
+    identifiers (keys, fingerprints, transaction ids).  Unbounded
+    labels grow the metrics registry without limit.
+
+Suppression: ``# pesos: allow[rule-id]`` on the flagged line or the
+line above (see :mod:`repro.analysis.findings`).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.findings import Finding, suppressed_rules
+
+#: Files exempt from the determinism rules (the bench driver reports
+#: real wall-clock alongside virtual time, on purpose).
+_WALL_CLOCK_EXEMPT = ("bench/__main__.py",)
+
+#: The one sgx module allowed to model host I/O.
+_SGX_IO_EXEMPT = ("sgx/syscalls.py",)
+
+#: Absolute-time reads: values that leak wall-clock timestamps into
+#: behaviour or stored state.  ``perf_counter``/``monotonic`` deltas
+#: feeding telemetry histograms are measurement-only and allowed.
+_WALL_CLOCK_CALLS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+
+_GLOBAL_RANDOM_CALLS = {
+    "random",
+    "randint",
+    "randrange",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "uniform",
+    "getrandbits",
+    "randbytes",
+    "seed",
+}
+
+_IO_MODULES = {"socket", "subprocess"}
+
+_OS_IO_ATTRS = {
+    "read",
+    "write",
+    "open",
+    "pipe",
+    "popen",
+    "system",
+    "fork",
+    "exec",
+    "socket",
+}
+
+#: Identifier fragments that signal unbounded metric label values.
+_HIGH_CARDINALITY_NAMES = {
+    "key",
+    "fingerprint",
+    "txid",
+    "object_id",
+    "policy_id",
+    "nonce",
+    "blob",
+}
+
+
+#: Modules whose import aliases the visitor resolves, so
+#: ``import time as _time`` cannot dodge the rules.
+_TRACKED_MODULES = {"time", "datetime", "random", "socket", "subprocess", "os"}
+
+
+def _dotted(node: ast.AST) -> tuple[str, ...] | None:
+    """``a.b.c`` as ``("a", "b", "c")``, or None for other shapes."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, rel_path: str) -> None:
+        self.rel_path = rel_path
+        self.in_sgx = rel_path.startswith("sgx/")
+        self.in_core = rel_path.startswith("core/")
+        self.findings: list[Finding] = []
+        #: Local name -> canonical dotted path, for tracked modules.
+        self._aliases: dict[str, tuple[str, ...]] = {}
+
+    def _resolve(self, dotted: tuple[str, ...]) -> tuple[str, ...]:
+        alias = self._aliases.get(dotted[0])
+        if alias is not None:
+            return alias + dotted[1:]
+        return dotted
+
+    def report(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                rule=rule,
+                message=message,
+                file=self.rel_path,
+                line=getattr(node, "lineno", 0),
+            )
+        )
+
+    # -- determinism -------------------------------------------------------
+
+    def _check_wall_clock(self, node: ast.Call) -> None:
+        if self.rel_path in _WALL_CLOCK_EXEMPT:
+            return
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return
+        dotted = self._resolve(dotted)
+        tail = dotted[-2:] if len(dotted) >= 2 else ()
+        if tuple(tail) in _WALL_CLOCK_CALLS:
+            self.report(
+                "det-wall-clock",
+                node,
+                f"wall-clock read {'.'.join(dotted)}() breaks deterministic "
+                "replay; use the engine's virtual clock",
+            )
+        if dotted == ("random",) or (
+            len(dotted) == 2
+            and dotted[0] == "random"
+            and dotted[1] in _GLOBAL_RANDOM_CALLS
+        ):
+            self.report(
+                "det-unseeded-random",
+                node,
+                f"{'.'.join(dotted)}() uses the process-global unseeded "
+                "RNG; thread a random.Random(seed) instance instead",
+            )
+
+    # -- sgx I/O -----------------------------------------------------------
+
+    def _check_sgx_io(self, node: ast.Call) -> None:
+        if not self.in_sgx or self.rel_path in _SGX_IO_EXEMPT:
+            return
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return
+        dotted = self._resolve(dotted)
+        if dotted == ("open",):
+            self.report(
+                "sgx-enclave-io",
+                node,
+                "builtin open() inside the enclave model bypasses the "
+                "syscall boundary; route through sgx/syscalls.py",
+            )
+        elif dotted[0] in _IO_MODULES or (
+            dotted[0] == "os" and dotted[-1] in _OS_IO_ATTRS
+        ):
+            self.report(
+                "sgx-enclave-io",
+                node,
+                f"direct host I/O {'.'.join(dotted)}() inside the enclave "
+                "model; only sgx/syscalls.py may touch the host",
+            )
+
+    def _check_sgx_import(self, node: ast.Import | ast.ImportFrom) -> None:
+        if not self.in_sgx or self.rel_path in _SGX_IO_EXEMPT:
+            return
+        if isinstance(node, ast.Import):
+            names = [alias.name for alias in node.names]
+        else:
+            names = [node.module or ""]
+        for name in names:
+            if name.split(".")[0] in _IO_MODULES:
+                self.report(
+                    "sgx-enclave-io",
+                    node,
+                    f"import of {name} inside the enclave model; only "
+                    "sgx/syscalls.py may touch the host",
+                )
+
+    # -- drive bypass ------------------------------------------------------
+
+    def _check_drive_bypass(self, node: ast.Call) -> None:
+        if not self.in_core:
+            return
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "direct":
+            self.report(
+                "core-drive-io",
+                node,
+                ".direct() bypasses the drive-op interceptor, hiding a "
+                "preemption point from the scheduler; issue the op through "
+                "the intercepted client call",
+            )
+
+    # -- telemetry labels --------------------------------------------------
+
+    def _check_labels(self, node: ast.Call) -> None:
+        if not (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "labels"
+        ):
+            return
+        for arg in node.args:
+            if isinstance(arg, ast.JoinedStr):
+                self.report(
+                    "telemetry-label-cardinality",
+                    node,
+                    "f-string label value: interpolated labels are "
+                    "unbounded; use a fixed label set",
+                )
+            elif isinstance(arg, ast.BinOp) and isinstance(arg.op, ast.Mod):
+                self.report(
+                    "telemetry-label-cardinality",
+                    node,
+                    "%-formatted label value: interpolated labels are "
+                    "unbounded; use a fixed label set",
+                )
+            elif (
+                isinstance(arg, ast.Call)
+                and isinstance(arg.func, ast.Attribute)
+                and arg.func.attr == "format"
+            ):
+                self.report(
+                    "telemetry-label-cardinality",
+                    node,
+                    ".format() label value: interpolated labels are "
+                    "unbounded; use a fixed label set",
+                )
+            else:
+                name = None
+                if isinstance(arg, ast.Name):
+                    name = arg.id
+                elif isinstance(arg, ast.Attribute):
+                    name = arg.attr
+                if name is not None and name.lower() in _HIGH_CARDINALITY_NAMES:
+                    self.report(
+                        "telemetry-label-cardinality",
+                        node,
+                        f"label value {name!r} looks unbounded (per-key / "
+                        "per-principal); metrics registries must stay "
+                        "bounded",
+                    )
+
+    # -- exception swallowing ----------------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        # BaseException is excluded: naming it is always deliberate
+        # (generator adapters that surface errors out-of-band).
+        broad = node.type is None or (
+            isinstance(node.type, ast.Name) and node.type.id == "Exception"
+        )
+        if broad and not any(
+            isinstance(inner, ast.Raise)
+            for stmt in node.body
+            for inner in ast.walk(stmt)
+        ):
+            label = (
+                "bare except:"
+                if node.type is None
+                else f"except {node.type.id}:"  # type: ignore[union-attr]
+            )
+            self.report(
+                "core-no-swallow",
+                node,
+                f"{label} swallows every failure silently; narrow the "
+                "exception type or re-raise after recording",
+            )
+        self.generic_visit(node)
+
+    # -- dispatch ----------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_wall_clock(node)
+        self._check_sgx_io(node)
+        self._check_drive_bypass(node)
+        self._check_labels(node)
+        self.generic_visit(node)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root in _TRACKED_MODULES:
+                local = alias.asname or root
+                self._aliases[local] = tuple(
+                    alias.name.split(".") if alias.asname else (root,)
+                )
+        self._check_sgx_import(node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = (node.module or "").split(".")
+        if module[0] in _TRACKED_MODULES:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                self._aliases[local] = (*module, alias.name)
+        self._check_sgx_import(node)
+        self.generic_visit(node)
+
+
+def lint_source(source: str, rel_path: str) -> list[Finding]:
+    """Lint one module's source; ``rel_path`` is relative to the package
+    root (e.g. ``core/engine.py``) and selects the per-layer rules."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="lint/syntax-error",
+                message=f"cannot parse: {exc.msg}",
+                file=rel_path,
+                line=exc.lineno or 0,
+            )
+        ]
+    visitor = _Visitor(rel_path)
+    visitor.visit(tree)
+    lines = source.splitlines()
+    return [
+        f
+        for f in visitor.findings
+        if f.rule not in suppressed_rules(lines, f.line)
+    ]
+
+
+def lint_tree(root: Path) -> list[Finding]:
+    """Lint every ``.py`` file under ``root`` (the ``repro`` package)."""
+    findings: list[Finding] = []
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        rel = path.relative_to(root).as_posix()
+        findings.extend(lint_source(path.read_text(), rel))
+    return findings

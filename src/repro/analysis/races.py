@@ -1,0 +1,108 @@
+"""Eraser-style lockset race detection over a shadow-state event stream.
+
+Classic Eraser (Savage et al., SOSP '97), adapted to the cooperative
+engine: for every shared field the detector tracks a state machine —
+*virgin* (never touched), *exclusive* (one thread only), *shared*
+(read by several threads), *shared-modified* (written by several) —
+and a *candidate lockset*: the set of locks every accessor has held on
+every access since the field became shared.  A field that reaches
+shared-modified with an empty candidate lockset has no lock that
+consistently protects it; some interleaving can interleave two writes.
+
+This is stronger than observing a corrupted run: the engine's seeded
+schedules may never actually hit the bad interleaving, but an empty
+lockset proves one exists.  Which is the point of running it inside
+the schedule-exploration harness — every explored interleaving is also
+checked for races the *other* interleavings would expose.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analysis.findings import Finding
+from repro.analysis.sanitizer import replay_locksets
+
+VIRGIN = "virgin"
+EXCLUSIVE = "exclusive"
+SHARED = "shared"
+SHARED_MODIFIED = "shared-modified"
+
+
+class _FieldState:
+    __slots__ = ("state", "owner", "candidates", "writers", "readers")
+
+    def __init__(self) -> None:
+        self.state = VIRGIN
+        self.owner: int | None = None
+        #: None until the field goes shared.
+        self.candidates: set | None = None
+        self.writers: set = set()
+        self.readers: set = set()
+
+
+def _field_label(field: Any) -> str:
+    if isinstance(field, bytes):
+        try:
+            return field.decode()
+        except UnicodeDecodeError:
+            return repr(field)
+    return str(field)
+
+
+def find_races(events: list[tuple]) -> list[Finding]:
+    """Replay a shadow-state event stream; one finding per racy field."""
+    fields: dict[Any, _FieldState] = {}
+    findings: list[Finding] = []
+    reported: set[Any] = set()
+
+    for event, held in replay_locksets(events):
+        if event[0] != "access":
+            continue
+        _, tid, field, kind = event
+        write = kind == "w"
+        state = fields.setdefault(field, _FieldState())
+        (state.writers if write else state.readers).add(tid)
+        lockset = set(held.get(tid, ()))
+
+        if state.state == VIRGIN:
+            # Candidate refinement starts at the *first* access: a
+            # first writer under lock A and a second under disjoint
+            # lock B must intersect to the empty set.
+            state.state = EXCLUSIVE
+            state.owner = tid
+            state.candidates = lockset
+            continue
+        assert state.candidates is not None
+        state.candidates &= lockset
+        if state.state == EXCLUSIVE:
+            if tid == state.owner:
+                continue
+            # Second thread: the field is genuinely shared from here on.
+            state.state = SHARED_MODIFIED if write else SHARED
+        elif write:
+            state.state = SHARED_MODIFIED
+
+        if (
+            state.state == SHARED_MODIFIED
+            and not state.candidates
+            and field not in reported
+        ):
+            reported.add(field)
+            findings.append(
+                Finding(
+                    rule="race/lockset",
+                    message=(
+                        f"shared field {_field_label(field)!r} is written "
+                        f"by threads {sorted(state.writers)} with an empty "
+                        "candidate lockset (no lock consistently protects "
+                        "it; a data race is possible under some schedule)"
+                    ),
+                    context={
+                        "field": _field_label(field),
+                        "writers": sorted(state.writers),
+                        "readers": sorted(state.readers),
+                    },
+                )
+            )
+    return findings

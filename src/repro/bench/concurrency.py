@@ -23,6 +23,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.analysis import ShadowState
 from repro.core.cache import CacheConfig
 from repro.core.controller import ControllerConfig, PesosController
 from repro.core.engine import ConcurrentEngine, EngineTiming
@@ -175,6 +176,46 @@ def run_concurrency_sweep(
         run_concurrency_point(config, workers)
         for workers in config.worker_counts
     ]
+
+
+def run_sanitizer_overhead(
+    config: ConcurrencyConfig | None = None, workers: int = 8
+) -> dict:
+    """Virtual-time cost of recording sanitizer shadow state.
+
+    Runs the same seeded workload twice — hooks at the no-op default,
+    then with a recording :class:`~repro.analysis.ShadowState` — and
+    reports both virtual times.  The hooks sit outside the cost model,
+    so the two runs must stay within 5% of each other (in practice they
+    are bit-identical: instrumentation observes the schedule, it never
+    advances the clock).
+    """
+    config = config or ConcurrencyConfig()
+    times = {}
+    events = 0
+    for label, sanitizer in (("baseline", None), ("sanitized", ShadowState())):
+        controller = build_concurrency_system(config)
+        with ConcurrentEngine(
+            controller,
+            seed=config.seed,
+            hardware_threads=workers,
+            max_inflight=config.max_inflight,
+            timing=config.timing,
+            sanitizer=sanitizer,
+        ) as engine:
+            engine.run_batch(make_workload(config), "fp-bench")
+            times[label] = engine.stats.virtual_seconds
+        if sanitizer is not None:
+            events = len(sanitizer.events)
+    overhead = times["sanitized"] / times["baseline"] - 1.0
+    return {
+        "workers": workers,
+        "baseline_virtual_ms": round(times["baseline"] * 1e3, 3),
+        "sanitized_virtual_ms": round(times["sanitized"] * 1e3, 3),
+        "overhead_pct": round(overhead * 100.0, 3),
+        "within_budget": abs(overhead) <= 0.05,
+        "shadow_events": events,
+    }
 
 
 def run_trace(

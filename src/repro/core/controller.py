@@ -20,6 +20,7 @@ import secrets as _secrets
 import time as _time
 from dataclasses import dataclass, field
 
+from repro.analysis.policy_verify import verify_policy, warnings_payload
 from repro.core.antientropy import AntiEntropyRepairer
 from repro.core.asyncapi import AsyncTracker
 from repro.core.cache import CacheConfig, CacheManager
@@ -72,6 +73,10 @@ class ControllerConfig:
     #: Disable policy checking entirely (the paper's "without policy
     #: enforcement" baseline used in §6.2).
     enforce_policies: bool = True
+    #: Run the static verifier (:mod:`repro.analysis.policy_verify`)
+    #: on every stored policy; findings come back as structured
+    #: warnings on the PUT response, never as rejections.
+    verify_policies: bool = True
     #: Bound on per-version metadata kept per object (see
     #: :class:`repro.core.store.ObjectStore`); None keeps everything.
     version_metadata_window: int | None = None
@@ -730,7 +735,16 @@ class PesosController:
         policy_id = policy.policy_hash()
         self.store.write_policy(policy_id, policy.to_bytes())
         self.caches.put_policy(policy_id, policy)
-        return Response(status=200, policy_id=policy_id)
+        response = Response(status=200, policy_id=policy_id)
+        if self.config.verify_policies:
+            # Static verification is advisory at PUT time: an
+            # unsatisfiable or shadowed clause is legal, just almost
+            # certainly not what the operator meant.  Surface it now,
+            # on the response, instead of as a silent denial later.
+            findings = verify_policy(policy)
+            if findings:
+                response.extra["warnings"] = warnings_payload(findings)
+        return response
 
     def _handle_get_policy(
         self, request: Request, session: Session, now: float

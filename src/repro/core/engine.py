@@ -46,6 +46,7 @@ from dataclasses import dataclass
 from queue import SimpleQueue
 from typing import Any
 
+from repro.analysis.sanitizer import NULL_SANITIZER
 from repro.core.request import Request, Response
 from repro.errors import ConfigurationError
 from repro.sgx.scheduler import DispatchSchedule, UserspaceScheduler
@@ -201,11 +202,16 @@ class ConcurrentEngine:
         max_inflight: int = 32,
         timing: EngineTiming | None = None,
         coalesce: bool = True,
+        sanitizer=None,
     ):
         if max_inflight < 1:
             raise ConfigurationError("need at least one in-flight request")
         self.controller = controller
         self.seed = seed
+        #: Concurrency-sanitizer hooks (see :mod:`repro.analysis`).
+        #: The default shared no-op keeps the hot path free: one
+        #: attribute lookup and a no-op call per event site.
+        self.sanitizer = NULL_SANITIZER if sanitizer is None else sanitizer
         self.timing = timing or EngineTiming()
         self.coalesce = coalesce
         self.syscalls = AsyncSyscallInterface(
@@ -235,12 +241,24 @@ class ConcurrentEngine:
         }
         self._last_switches = 0
         controller.store.install_io_interceptor(self._io_interceptor)
+        # Fan the sanitizer out to every instrumented layer this engine
+        # drives; close() restores the shared no-op.
+        self.scheduler.sanitizer = self.sanitizer
+        self._locks.sanitizer = self.sanitizer
+        txns = getattr(controller, "txns", None)
+        if txns is not None:
+            txns.sanitizer = self.sanitizer
 
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
         """Uninstall the drive interceptor (engine no longer usable)."""
         self.controller.store.install_io_interceptor(None)
+        self.scheduler.sanitizer = NULL_SANITIZER
+        self._locks.sanitizer = NULL_SANITIZER
+        txns = getattr(self.controller, "txns", None)
+        if txns is not None:
+            txns.sanitizer = NULL_SANITIZER
 
     def __enter__(self) -> "ConcurrentEngine":
         return self
@@ -318,10 +336,18 @@ class ConcurrentEngine:
 
     # -- one request, as a green thread ------------------------------------
 
+    def _lock_mode(self, request: Request) -> str | None:
+        """Request-lock mode for one request (``"w"``/``"r"``/None).
+
+        A seam on purpose: the sanitizer regression test overrides this
+        to drop the locks and prove the race detector fires.
+        """
+        return LOCK_MODES.get(request.method)
+
     def _serve(self, handle: TaskHandle, item: _Item) -> Response:
         self._local.handle = handle
         request = item.request
-        mode = LOCK_MODES.get(request.method)
+        mode = self._lock_mode(request)
         exclusive = mode == "w"
         if mode is not None and request.key:
             # Spin-yield acquisition: on contention, park for one
@@ -355,7 +381,12 @@ class ConcurrentEngine:
         handle = getattr(self._local, "handle", None)
         if handle is None:
             # Main thread (bootstrap, load phase, admin): inline.
-            return client.direct(op, *args, **kwargs)
+            return client.direct(op, *args, **kwargs)  # pesos: allow[core-drive-io]
+        if self.sanitizer.enabled and args:
+            # The disk key is the shared state two requests can clobber;
+            # report the access on the issuing thread, at submission
+            # time, while the shadow state still attributes to it.
+            self.sanitizer.on_access(args[0], op in ("put", "delete"))
         index = self._client_index[id(client)]
         return handle.emit(
             ("syscall", "drive_op", (index, op, args, kwargs))
@@ -364,7 +395,7 @@ class ConcurrentEngine:
     def _exec_drive_op(self, index: int, op: str, args: tuple, kwargs: dict):
         """Untrusted-worker side: execute the real drive call."""
         self.stats.drive_ops += 1
-        return self._clients[index].direct(op, *args, **kwargs)
+        return self._clients[index].direct(op, *args, **kwargs)  # pesos: allow[core-drive-io]
 
     # -- per-round hook: coalescing + virtual time -------------------------
 

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 
+from repro.analysis.sanitizer import NULL_SANITIZER
+
 
 class KeyLockTable:
     """Reader-writer locks over object keys, for cooperative threads.
@@ -53,6 +55,8 @@ class KeyLockTable:
         self._on_release = on_release
         self.acquisitions = 0
         self.contended = 0
+        #: Concurrency-sanitizer hooks; the shared no-op by default.
+        self.sanitizer = NULL_SANITIZER
 
     def bind(
         self,
@@ -83,6 +87,14 @@ class KeyLockTable:
         else:
             self._shared[key] = self._shared.get(key, 0) + 1
         self.acquisitions += 1
+        # Lock id ("obj", key) is shared with the VLL manager: the two
+        # tables cross-exclude per key (conflicts/on_release wiring),
+        # so they implement one logical lock, and the sanitizer must
+        # see them as one or it reports false races between a request
+        # and a transaction on the same key.
+        self.sanitizer.on_lock_acquire(
+            ("obj", key), "w" if exclusive else "r"
+        )
         return True
 
     def try_acquire_all(
@@ -95,12 +107,20 @@ class KeyLockTable:
         without ever holding while waiting.
         """
         taken: list[str] = []
-        for key in keys:
-            if not self.try_acquire(key, exclusive):
-                for held in taken:
-                    self.release(held, exclusive)
-                return False
-            taken.append(key)
+        # Report the whole grab as one atomic group event: the partial
+        # holds inside this loop are rolled back before any wait, so
+        # they must not create lock-order edges.
+        sanitizer, self.sanitizer = self.sanitizer, NULL_SANITIZER
+        try:
+            for key in keys:
+                if not self.try_acquire(key, exclusive):
+                    for held in taken:
+                        self.release(held, exclusive)
+                    return False
+                taken.append(key)
+        finally:
+            self.sanitizer = sanitizer
+        self.sanitizer.on_group_acquire([("obj", key) for key in keys])
         return True
 
     # -- release -----------------------------------------------------------
@@ -115,12 +135,18 @@ class KeyLockTable:
                 self._shared[key] = remaining
             else:
                 del self._shared[key]
+        self.sanitizer.on_lock_release(("obj", key))
         if self._on_release is not None:
             self._on_release(key)
 
     def release_all(self, keys: Sequence[str], exclusive: bool = True) -> None:
-        for key in keys:
-            self.release(key, exclusive)
+        sanitizer, self.sanitizer = self.sanitizer, NULL_SANITIZER
+        try:
+            for key in keys:
+                self.release(key, exclusive)
+        finally:
+            self.sanitizer = sanitizer
+        self.sanitizer.on_group_release([("obj", key) for key in keys])
 
     # -- introspection -----------------------------------------------------
 

@@ -9,6 +9,7 @@ all benchmarks work on the structured :class:`Request` directly.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from urllib.parse import parse_qs, quote, unquote, urlparse
 
@@ -170,6 +171,13 @@ def render_http_response(response: Response) -> bytes:
         headers.append(f"X-Pesos-Error: {quote(response.error)}")
     if response.retry_after is not None:
         headers.append(f"Retry-After: {response.retry_after:g}")
+    if response.extra.get("warnings"):
+        # Structured policy-verifier warnings, URL-quoted JSON: the
+        # header survives the flat name/value transport unharmed.
+        headers.append(
+            "X-Pesos-Policy-Warnings: "
+            + quote(json.dumps(response.extra["warnings"]), safe="")
+        )
     body = response.value
     headers.append(f"Content-Length: {len(body)}")
     return ("\r\n".join(headers) + "\r\n\r\n").encode() + body
@@ -211,6 +219,11 @@ def parse_http_response(raw: bytes) -> Response:
     for line in lines[1:]:
         name, _, value = line.partition(": ")
         headers[name] = value
+    extra = {}
+    if "X-Pesos-Policy-Warnings" in headers:
+        extra["warnings"] = json.loads(
+            unquote(headers["X-Pesos-Policy-Warnings"])
+        )
     return Response(
         status=status,
         value=body,
@@ -226,4 +239,5 @@ def parse_http_response(raw: bytes) -> Response:
         retry_after=(
             float(headers["Retry-After"]) if "Retry-After" in headers else None
         ),
+        extra=extra,
     )

@@ -46,6 +46,7 @@ from repro.core.health import STATE_CODES, HealthTracker
 from repro.crypto.aead import StreamAead
 from repro.errors import (
     ConfigurationError,
+    CryptoError,
     DriveOffline,
     IntegrityError,
     KineticError,
@@ -751,7 +752,9 @@ class ObjectStore:
                     status = "offline"
                 except KineticNotFound:
                     status = "missing"
-                except Exception:  # noqa: BLE001 - tamper shows as decrypt fail
+                except CryptoError:
+                    # Tampered blobs surface as AEAD failures (bad tag,
+                    # truncated frame); anything else should propagate.
                     status = "corrupt"
                 report.append((version_meta.version, index, status))
         return report

@@ -36,6 +36,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.analysis.sanitizer import NULL_SANITIZER
 from repro.errors import TransactionError
 from repro.telemetry import NULL_TELEMETRY
 from repro.telemetry.metrics import MetricFamily, Sample
@@ -112,6 +113,8 @@ class VllManager:
         self.executed_from_queue = 0
         self.aborted = 0
         self.telemetry = telemetry or NULL_TELEMETRY
+        #: Concurrency-sanitizer hooks; the shared no-op by default.
+        self.sanitizer = NULL_SANITIZER
         self._m_outcomes = self.telemetry.counter(
             "pesos_txn_total",
             "Transactions finished, by outcome.",
@@ -181,6 +184,14 @@ class VllManager:
         )
 
     def _run(self, tx: Transaction) -> None:
+        # The VLL grab in commit() is all-at-once (no hold-and-wait),
+        # and a queued transaction runs on whichever thread drains the
+        # queue — so the group is attributed here, to the thread that
+        # actually executes under the locks.  Lock id ("obj", key) is
+        # shared with KeyLockTable: the cross-wired conflict checks
+        # make the two tables one logical lock per key.
+        group = [("obj", key) for key in tx.keys()]
+        self.sanitizer.on_group_acquire(group)
         for key in tx.keys():
             self._running[key] = self._running.get(key, 0) + 1
         with self.telemetry.span(
@@ -203,6 +214,7 @@ class VllManager:
                     else:
                         self._running[key] = remaining
                 self._unlock(tx)
+                self.sanitizer.on_group_release(group)
 
     def _unlock(self, tx: Transaction) -> None:
         for key in tx.keys():

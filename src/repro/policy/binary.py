@@ -31,7 +31,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field
 
-from repro.errors import PolicyFormatError
+from repro.errors import PesosError, PolicyFormatError
 from repro.kinetic.protocol import decode_fields, encode_fields
 from repro.policy.ast import (
     HashValue,
@@ -133,7 +133,9 @@ class CompiledPolicy:
     def from_bytes(cls, blob: bytes) -> "CompiledPolicy":
         try:
             fields = decode_fields(blob)
-        except Exception as exc:  # noqa: BLE001 - normalize decode errors
+        except PesosError as exc:
+            # The wire decoder's whole error surface (KineticError /
+            # VarintError) shares this root; see the decoder fuzz test.
             raise PolicyFormatError(f"corrupt policy blob: {exc}") from exc
         if fields.get("version") != FORMAT_VERSION:
             raise PolicyFormatError(

@@ -1,0 +1,76 @@
+"""Lock-order-graph deadlock detection on synthetic event streams."""
+
+from repro.analysis.deadlock import build_lock_order_graph, find_deadlocks
+
+A, B, C = ("obj", "a"), ("obj", "b"), ("obj", "c")
+
+
+def _nested(tid, outer, inner):
+    return [
+        ("acquire", tid, outer, "w"),
+        ("acquire", tid, inner, "w"),
+        ("release", tid, inner),
+        ("release", tid, outer),
+    ]
+
+
+def test_consistent_order_is_acyclic():
+    events = _nested(0, A, B) + _nested(1, A, B)
+    assert find_deadlocks(events) == []
+
+
+def test_opposite_orders_form_a_cycle():
+    events = _nested(0, A, B) + _nested(1, B, A)
+    findings = find_deadlocks(events)
+    assert len(findings) == 1
+    assert findings[0].rule == "deadlock/lock-order"
+    assert "cycle" in findings[0].message
+
+
+def test_three_lock_rotation_cycle():
+    events = _nested(0, A, B) + _nested(1, B, C) + _nested(2, C, A)
+    findings = find_deadlocks(events)
+    assert len(findings) == 1
+    assert len(findings[0].context["cycle"]) == 3
+
+
+def test_atomic_group_creates_no_internal_edges():
+    events = [
+        ("acquire_group", 0, (A, B)),
+        ("release_group", 0, (A, B)),
+        ("acquire_group", 1, (B, A)),
+        ("release_group", 1, (B, A)),
+    ]
+    assert build_lock_order_graph(events) == {}
+    assert find_deadlocks(events) == []
+
+
+def test_lock_held_before_group_still_orders_members():
+    events = [
+        ("acquire", 0, C, "w"),
+        ("acquire_group", 0, (A, B)),
+        ("release_group", 0, (A, B)),
+        ("release", 0, C),
+    ]
+    graph = build_lock_order_graph(events)
+    assert set(graph[C]) == {A, B}
+
+
+def test_reentrant_reacquisition_makes_no_self_edge():
+    events = [
+        ("acquire", 0, A, "w"),
+        ("acquire", 0, A, "w"),
+        ("release", 0, A),
+        ("release", 0, A),
+    ]
+    assert build_lock_order_graph(events) == {}
+
+
+def test_cycle_reported_once_across_threads():
+    events = (
+        _nested(0, A, B)
+        + _nested(1, B, A)
+        + _nested(2, A, B)
+        + _nested(3, B, A)
+    )
+    assert len(find_deadlocks(events)) == 1

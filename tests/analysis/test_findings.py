@@ -1,0 +1,63 @@
+"""Finding model: pragmas, ordering, renderers."""
+
+import json
+
+from repro.analysis.findings import (
+    Finding,
+    render_json_report,
+    render_markdown,
+    render_text,
+    sort_findings,
+    suppressed_rules,
+)
+
+
+def test_suppression_on_flagged_line_and_line_above():
+    lines = [
+        "x = 1",
+        "# pesos: allow[det-wall-clock]",
+        "started = time.time()",
+        "y = time.time()  # pesos: allow[det-wall-clock]",
+    ]
+    assert "det-wall-clock" in suppressed_rules(lines, 3)  # line above
+    assert "det-wall-clock" in suppressed_rules(lines, 4)  # same line
+    assert suppressed_rules(lines, 1) == set()
+
+
+def test_suppression_is_rule_specific():
+    lines = ["value = thing()  # pesos: allow[core-no-swallow]"]
+    allowed = suppressed_rules(lines, 1)
+    assert allowed == {"core-no-swallow"}
+
+
+def test_sort_puts_errors_before_warnings():
+    warning = Finding(rule="b", message="w", severity="warning", file="a.py")
+    error = Finding(rule="a", message="e", severity="error", file="z.py")
+    assert sort_findings([warning, error]) == [error, warning]
+
+
+def test_render_text_empty_and_nonempty():
+    assert render_text([]) == "no findings"
+    text = render_text(
+        [Finding(rule="r", message="boom", file="f.py", line=3)]
+    )
+    assert "f.py:3" in text
+    assert "error[r]" in text
+    assert "1 finding(s)" in text
+
+
+def test_render_json_is_parseable():
+    report = json.loads(
+        render_json_report([Finding(rule="r", message="m", file="f.py")])
+    )
+    assert report["count"] == 1
+    assert report["findings"][0]["rule"] == "r"
+
+
+def test_render_markdown_table_and_empty_checkmark():
+    assert "white_check_mark" in render_markdown([])
+    table = render_markdown(
+        [Finding(rule="race/lockset", message="a | b", file="f.py", line=7)]
+    )
+    assert "| error | `race/lockset` |" in table
+    assert "a \\| b" in table  # pipes escaped for the table cell

@@ -1,0 +1,158 @@
+"""Project lint rules: each fires on a minimal snippet, the pragma
+silences it, and the repository itself is clean."""
+
+from pathlib import Path
+
+from repro.analysis.__main__ import analyze_targets, default_targets
+from repro.analysis.lint import lint_source
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def rules(source, rel_path="core/example.py"):
+    return [f.rule for f in lint_source(source, rel_path)]
+
+
+# -- det-wall-clock ----------------------------------------------------------
+
+def test_wall_clock_read_flagged():
+    assert rules("import time\nt = time.time()\n") == ["det-wall-clock"]
+
+
+def test_wall_clock_alias_does_not_dodge():
+    assert rules("import time as _time\nt = _time.time()\n") == [
+        "det-wall-clock"
+    ]
+
+
+def test_datetime_now_flagged_from_import():
+    source = "from datetime import datetime\nt = datetime.now()\n"
+    assert rules(source) == ["det-wall-clock"]
+
+
+def test_perf_counter_measurement_is_allowed():
+    assert rules("import time\nt = time.perf_counter()\n") == []
+
+
+def test_bench_driver_is_exempt():
+    source = "import time\nt = time.time()\n"
+    assert lint_source(source, "bench/__main__.py") == []
+
+
+# -- det-unseeded-random -----------------------------------------------------
+
+def test_global_random_flagged():
+    assert rules("import random\nx = random.random()\n") == [
+        "det-unseeded-random"
+    ]
+
+
+def test_seeded_rng_instance_is_fine():
+    source = "import random\nrng = random.Random(7)\nx = rng.random()\n"
+    assert rules(source) == []
+
+
+# -- sgx-enclave-io ----------------------------------------------------------
+
+def test_socket_inside_enclave_flagged():
+    source = "import socket\ns = socket.socket()\n"
+    reported = [
+        f.rule for f in lint_source(source, "sgx/enclave.py")
+    ]
+    assert reported == ["sgx-enclave-io", "sgx-enclave-io"]  # import + call
+
+
+def test_builtin_open_inside_enclave_flagged():
+    assert [
+        f.rule
+        for f in lint_source("fh = open('x')\n", "sgx/shields.py")
+    ] == ["sgx-enclave-io"]
+
+
+def test_syscall_model_is_exempt():
+    source = "import socket\ns = socket.socket()\n"
+    assert lint_source(source, "sgx/syscalls.py") == []
+
+
+def test_aead_open_method_is_not_builtin_open():
+    assert lint_source("x = aead.open(blob)\n", "sgx/shields.py") == []
+
+
+def test_io_outside_sgx_is_not_this_rules_problem():
+    assert rules("import socket\ns = socket.socket()\n") == []
+
+
+# -- core-drive-io -----------------------------------------------------------
+
+def test_direct_drive_call_in_core_flagged():
+    assert rules("r = client.direct('get', key)\n") == ["core-drive-io"]
+
+
+def test_direct_call_with_pragma_allowed():
+    source = "r = client.direct('get', key)  # pesos: allow[core-drive-io]\n"
+    assert rules(source) == []
+
+
+def test_direct_outside_core_is_fine():
+    source = "r = client.direct('get', key)\n"
+    assert lint_source(source, "kinetic/client.py") == []
+
+
+# -- core-no-swallow ---------------------------------------------------------
+
+def test_swallowing_broad_except_flagged():
+    source = "try:\n    x()\nexcept Exception:\n    pass\n"
+    assert rules(source) == ["core-no-swallow"]
+
+
+def test_bare_except_flagged():
+    source = "try:\n    x()\nexcept:\n    y = 1\n"
+    assert rules(source) == ["core-no-swallow"]
+
+
+def test_reraising_broad_except_is_fine():
+    source = "try:\n    x()\nexcept Exception:\n    count()\n    raise\n"
+    assert rules(source) == []
+
+
+def test_narrow_except_is_fine():
+    source = "try:\n    x()\nexcept ValueError:\n    pass\n"
+    assert rules(source) == []
+
+
+def test_base_exception_is_deliberate_and_excluded():
+    source = "try:\n    x()\nexcept BaseException as exc:\n    keep(exc)\n"
+    assert rules(source) == []
+
+
+# -- telemetry-label-cardinality --------------------------------------------
+
+def test_fstring_label_flagged():
+    source = "m.labels(f'{kind}:{region}').inc()\n"
+    assert rules(source) == ["telemetry-label-cardinality"]
+
+
+def test_unbounded_identifier_label_flagged():
+    assert rules("m.labels(request.key).inc()\n") == [
+        "telemetry-label-cardinality"
+    ]
+
+
+def test_literal_and_bounded_labels_are_fine():
+    assert rules("m.labels('get', outcome).inc()\n") == []
+
+
+# -- the repository itself ---------------------------------------------------
+
+def test_repo_source_tree_is_clean():
+    findings = analyze_targets([SRC])
+    assert findings == [], "\n".join(
+        f"{f.location()}: {f.rule}" for f in findings
+    )
+
+
+def test_default_targets_include_example_policies():
+    # default_targets resolves examples/ relative to the cwd; from the
+    # repo root (how CI runs) the policy corpus must be picked up.
+    targets = default_targets()
+    assert targets[0] == SRC

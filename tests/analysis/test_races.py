@@ -1,0 +1,111 @@
+"""Eraser-style lockset race detection on synthetic event streams."""
+
+from repro.analysis.races import find_races
+
+L1 = ("obj", "k1")
+L2 = ("obj", "k2")
+
+
+def test_single_thread_never_races():
+    events = [
+        ("dispatch", 0),
+        ("access", 0, "field", "w"),
+        ("access", 0, "field", "w"),
+        ("access", 0, "field", "r"),
+    ]
+    assert find_races(events) == []
+
+
+def test_consistently_locked_writes_are_clean():
+    events = []
+    for tid in (0, 1):
+        events += [
+            ("dispatch", tid),
+            ("acquire", tid, L1, "w"),
+            ("access", tid, "field", "w"),
+            ("release", tid, L1),
+        ]
+    assert find_races(events) == []
+
+
+def test_unprotected_second_writer_is_reported():
+    events = [
+        ("access", 0, "field", "w"),
+        ("access", 1, "field", "w"),
+    ]
+    findings = find_races(events)
+    assert len(findings) == 1
+    assert findings[0].rule == "race/lockset"
+    assert findings[0].context["writers"] == [0, 1]
+
+
+def test_shared_reads_alone_are_not_a_race():
+    events = [
+        ("access", 0, "field", "r"),
+        ("access", 1, "field", "r"),
+        ("access", 2, "field", "r"),
+    ]
+    assert find_races(events) == []
+
+
+def test_read_shared_then_unlocked_write_is_reported():
+    events = [
+        ("access", 0, "field", "r"),
+        ("access", 1, "field", "r"),  # shared, candidates = {} already
+        ("access", 1, "field", "w"),  # escalates to shared-modified
+    ]
+    findings = find_races(events)
+    assert len(findings) == 1
+
+
+def test_disjoint_locks_empty_the_candidate_set():
+    events = [
+        ("acquire", 0, L1, "w"),
+        ("access", 0, "field", "w"),
+        ("release", 0, L1),
+        ("acquire", 1, L2, "w"),
+        ("access", 1, "field", "w"),
+        ("release", 1, L2),
+    ]
+    findings = find_races(events)
+    assert len(findings) == 1
+    assert "field" in findings[0].message
+
+
+def test_group_acquisition_counts_as_holding():
+    events = []
+    for tid in (0, 1):
+        events += [
+            ("acquire_group", tid, (L1, L2)),
+            ("access", tid, "field", "w"),
+            ("release_group", tid, (L1, L2)),
+        ]
+    assert find_races(events) == []
+
+
+def test_mixed_group_and_single_share_the_common_lock():
+    events = [
+        ("acquire_group", 0, (L1, L2)),
+        ("access", 0, "field", "w"),
+        ("release_group", 0, (L1, L2)),
+        ("acquire", 1, L1, "w"),
+        ("access", 1, "field", "w"),
+        ("release", 1, L1),
+    ]
+    assert find_races(events) == []
+
+
+def test_one_finding_per_field_not_per_access():
+    events = [("access", 0, "f", "w")]
+    for _ in range(5):
+        events.append(("access", 1, "f", "w"))
+    assert len(find_races(events)) == 1
+
+
+def test_bytes_fields_render_in_message():
+    events = [
+        ("access", 0, b"m/key-1", "w"),
+        ("access", 1, b"m/key-1", "w"),
+    ]
+    findings = find_races(events)
+    assert "m/key-1" in findings[0].message

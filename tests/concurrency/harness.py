@@ -32,6 +32,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.analysis import ShadowState, find_deadlocks, find_races
 from repro.core.cache import CacheConfig
 from repro.core.controller import ControllerConfig, PesosController
 from repro.core.engine import ConcurrentEngine
@@ -56,6 +57,9 @@ class Exploration:
     committed_txids: list
     controller: PesosController = None
     violations: list = field(default_factory=list)
+    #: Race/deadlock findings from the concurrency sanitizer (empty on
+    #: a healthy run; populated before the raise when it fires).
+    sanitizer_findings: list = field(default_factory=list)
 
 
 class LinearizabilityError(AssertionError):
@@ -231,13 +235,24 @@ def _check_transactions(exploration: Exploration, fail) -> None:
 
 
 def explore(
-    seed: int, operations: int = 26, workers: int = 6
+    seed: int,
+    operations: int = 26,
+    workers: int = 6,
+    engine_cls: type = ConcurrentEngine,
+    sanitize: bool = True,
 ) -> Exploration:
-    """Run one seeded interleaving end to end; raises on any violation."""
+    """Run one seeded interleaving end to end; raises on any violation.
+
+    With ``sanitize`` (the default) the run records a shadow-state
+    event stream and every explored interleaving is also checked for
+    lockset races and lock-order cycles — defects *some other*
+    interleaving would hit, even if this one got lucky.
+    """
     controller = build_small_system(seed)
     requests, values = make_workload(controller, seed, operations)
-    with ConcurrentEngine(
-        controller, seed=seed, hardware_threads=workers
+    shadow = ShadowState() if sanitize else None
+    with engine_cls(
+        controller, seed=seed, hardware_threads=workers, sanitizer=shadow
     ) as engine:
         responses = engine.run_batch(requests, "fp")
         exploration = Exploration(
@@ -253,6 +268,20 @@ def explore(
             ],
             controller=controller,
         )
+    if shadow is not None:
+        exploration.sanitizer_findings = find_races(
+            shadow.events
+        ) + find_deadlocks(shadow.events)
+        if exploration.sanitizer_findings:
+            details = "\n".join(
+                f"  [{f.rule}] {f.message}"
+                for f in exploration.sanitizer_findings
+            )
+            raise LinearizabilityError(
+                f"seed {seed}: concurrency sanitizer reported "
+                f"{len(exploration.sanitizer_findings)} finding(s):\n"
+                f"{details}"
+            )
     for index, response in enumerate(responses):
         if response.status >= 500:
             raise LinearizabilityError(
