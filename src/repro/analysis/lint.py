@@ -31,6 +31,14 @@ suite depends on but cannot easily assert:
     ``%``/``.format`` formatting, or values named after unbounded
     identifiers (keys, fingerprints, transaction ids).  Unbounded
     labels grow the metrics registry without limit.
+``det-default-clock``
+    No defaulted time parameter (``now``, ``wall_clock``,
+    ``timestamp``) in ``core/``.  A forgotten ``now`` silently pins a
+    caller to time zero, so expiry and eviction decisions compare
+    fresh state against the epoch — sessions were expired (or kept)
+    depending on call order, not on the clock.  Outer entry points
+    that deliberately treat the virtual epoch as "no clock yet" carry
+    pragmas; everything below them must require the clock.
 
 Suppression: ``# pesos: allow[rule-id]`` on the flagged line or the
 line above (see :mod:`repro.analysis.findings`).
@@ -100,6 +108,11 @@ _HIGH_CARDINALITY_NAMES = {
     "nonce",
     "blob",
 }
+
+
+#: Parameter names that carry the virtual clock; defaulting one in
+#: ``core/`` hides a time-zero pin from every forgetful caller.
+_TIME_PARAM_NAMES = {"now", "wall_clock", "timestamp"}
 
 
 #: Modules whose import aliases the visitor resolves, so
@@ -276,6 +289,43 @@ class _Visitor(ast.NodeVisitor):
                         "per-principal); metrics registries must stay "
                         "bounded",
                     )
+
+    # -- defaulted clocks --------------------------------------------------
+
+    def _check_default_clock(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        if not self.in_core:
+            return
+        args = node.args
+        positional = args.posonlyargs + args.args
+        defaulted = positional[len(positional) - len(args.defaults):]
+        flagged = [
+            arg
+            for arg in defaulted
+            if arg.arg in _TIME_PARAM_NAMES
+        ]
+        flagged.extend(
+            arg
+            for arg, default in zip(args.kwonlyargs, args.kw_defaults)
+            if default is not None and arg.arg in _TIME_PARAM_NAMES
+        )
+        for arg in flagged:
+            self.report(
+                "det-default-clock",
+                arg,
+                f"time parameter {arg.arg!r} has a default: a forgotten "
+                "clock pins the caller to time zero and skews every "
+                "expiry decision; make it a required keyword argument",
+            )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_default_clock(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_default_clock(node)
+        self.generic_visit(node)
 
     # -- exception swallowing ----------------------------------------------
 

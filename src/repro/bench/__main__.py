@@ -32,11 +32,12 @@ _RUNNERS = {
     "abl-caches": experiments.ablation_caches,
     "abl-epc": experiments.ablation_epc,
     "concurrency": experiments.concurrency_sweep,
+    "overload": experiments.overload_sweep,
 }
 
 _DEFAULT = [
     "fig3+4", "fig5", "fig6", "enc", "fig7", "fig8", "fig9", "fig10",
-    "abl-syscalls", "abl-caches", "abl-epc", "concurrency",
+    "abl-syscalls", "abl-caches", "abl-epc", "concurrency", "overload",
 ]
 
 

@@ -581,3 +581,34 @@ def concurrency_sweep(config=None) -> FigureResult:
     for point in run_concurrency_sweep(config):
         figure.add(config.name, point.workers, point)
     return figure
+
+
+# ---------------------------------------------------------------------------
+# Overload sweep: admission control under excess offered load
+# ---------------------------------------------------------------------------
+
+def overload_sweep(config=None) -> FigureResult:
+    """Goodput vs offered load (0.5x-4x capacity), shedding on and off.
+
+    The "admission" series must degrade gracefully — goodput at the
+    highest multiplier stays within 20% of the series peak with a
+    bounded queue — while the unprotected series collapses as its
+    queue grows (see :mod:`repro.bench.overload` for the model).
+    """
+    from repro.bench.overload import OverloadConfig, run_overload_sweep
+
+    config = config or OverloadConfig()
+    figure = FigureResult(
+        figure="Overload",
+        title="Admission control: goodput vs offered load",
+        x_label="offered (x capacity)",
+        default_metric="iops",
+        paper_notes=[
+            "TEE stores must shed, not queue: EPC pressure makes "
+            "overload collapse superlinear"
+        ],
+    )
+    for name, points in run_overload_sweep(config).items():
+        for point in points:
+            figure.add(name, point.multiplier, point)
+    return figure

@@ -52,6 +52,12 @@ class AsyncTracker:
         #: lands nowhere and the client sees ``ResultExpired`` —
         #: correct per §4.1 (re-submit), but worth surfacing.
         self.discarded_pending = 0
+        #: The completion side of ``discarded_pending``: the operation
+        #: *did* run to completion, but its entry was already evicted,
+        #: so the finished result lands nowhere.  Without this counter
+        #: a "ran, result expired" is indistinguishable from "never
+        #: ran" in zero-lost-acked-write accounting.
+        self.completed_after_evict = 0
 
     def begin(self, fingerprint: str) -> OperationResult:
         """Register a new pending operation for a client."""
@@ -72,6 +78,7 @@ class AsyncTracker:
         """Record the final result; False if the entry was evicted."""
         entry = self._results.get(operation_id)
         if entry is None:
+            self.completed_after_evict += 1
             return False
         entry.state = DONE
         entry.result = result

@@ -303,7 +303,7 @@ class PesosController:
     # ------------------------------------------------------------------
 
     def handle(
-        self, request: Request, fingerprint: str, now: float = 0.0
+        self, request: Request, fingerprint: str, now: float = 0.0  # pesos: allow[det-default-clock]
     ) -> Response:
         """Execute one authenticated client request."""
         self.requests_handled += 1
@@ -315,7 +315,7 @@ class PesosController:
             # request loop, so benchmark numbers are unaffected.
             try:
                 request.validate()
-                session = self.sessions.connect(fingerprint, now)
+                session = self.sessions.connect(fingerprint, now=now)
                 session.touch(now)
                 if request.asynchronous:
                     return self._handle_async(request, session, now)
@@ -330,7 +330,7 @@ class PesosController:
                 span.set("key", request.key)
             try:
                 request.validate()
-                session = self.sessions.connect(fingerprint, now)
+                session = self.sessions.connect(fingerprint, now=now)
                 session.touch(now)
                 if request.asynchronous:
                     response = self._handle_async(request, session, now)
@@ -425,6 +425,38 @@ class PesosController:
                 )
             ],
         )
+        tracker = self.async_tracker
+        yield MetricFamily(
+            name="pesos_async_results_discarded_total",
+            kind="counter",
+            help="Async result-buffer evictions, by entry state at "
+            "eviction time.",
+            samples=[
+                Sample(
+                    "pesos_async_results_discarded_total",
+                    {"state": "pending"},
+                    tracker.discarded_pending,
+                ),
+                Sample(
+                    "pesos_async_results_discarded_total",
+                    {"state": "done"},
+                    tracker.discarded - tracker.discarded_pending,
+                ),
+            ],
+        )
+        yield MetricFamily(
+            name="pesos_async_completed_after_evict_total",
+            kind="counter",
+            help="Async operations whose finished result arrived after "
+            "its buffer entry was evicted (ran, result expired).",
+            samples=[
+                Sample(
+                    "pesos_async_completed_after_evict_total",
+                    {},
+                    tracker.completed_after_evict,
+                )
+            ],
+        )
 
     def _dispatch(
         self, request: Request, session: Session, now: float
@@ -445,7 +477,18 @@ class PesosController:
             result = self._dispatch(request, session, now)
         except PesosError as exc:
             result = self._error_response(exc)
-        self.async_tracker.complete(entry.operation_id, result)
+        if not self.async_tracker.complete(entry.operation_id, result):
+            # The result buffer already evicted this entry: the write
+            # ran (and may have been applied), but the client can never
+            # learn its outcome — only re-submit.  Leave a span event so
+            # acked-write audits can tell "ran, result expired" apart
+            # from "never ran".
+            with self.telemetry.span(
+                "async.completed_after_evict",
+                operation_id=entry.operation_id,
+                status=result.status,
+            ):
+                pass
         return Response(status=202, operation_id=entry.operation_id)
 
     def _handle_status(
@@ -867,7 +910,7 @@ class PesosController:
         fingerprint: str,
         key: str,
         value: bytes,
-        now: float = 0.0,
+        now: float = 0.0,  # pesos: allow[det-default-clock]
         **kwargs,
     ) -> Response:
         return self.handle(
@@ -877,14 +920,14 @@ class PesosController:
         )
 
     def get(
-        self, fingerprint: str, key: str, now: float = 0.0, **kwargs
+        self, fingerprint: str, key: str, now: float = 0.0, **kwargs  # pesos: allow[det-default-clock]
     ) -> Response:
         return self.handle(
             Request(method="get", key=key, **kwargs), fingerprint, now=now
         )
 
     def delete(
-        self, fingerprint: str, key: str, now: float = 0.0, **kwargs
+        self, fingerprint: str, key: str, now: float = 0.0, **kwargs  # pesos: allow[det-default-clock]
     ) -> Response:
         return self.handle(
             Request(method="delete", key=key, **kwargs), fingerprint, now=now

@@ -47,6 +47,7 @@ from queue import SimpleQueue
 from typing import Any
 
 from repro.analysis.sanitizer import NULL_SANITIZER
+from repro.core.admission import AdmissionController
 from repro.core.request import Request, Response
 from repro.errors import ConfigurationError
 from repro.sgx.scheduler import DispatchSchedule, UserspaceScheduler
@@ -158,6 +159,9 @@ class _Item:
     now: float
     response: Response | None = None
     tid: int | None = None
+    #: Virtual time at which the item entered the admission queue;
+    #: completion latency (queue wait included) is measured from here.
+    vqueued: float = 0.0
 
 
 @dataclass
@@ -170,6 +174,7 @@ class EngineStats:
     lock_spins: int = 0
     virtual_seconds: float = 0.0
     context_switches: int = 0
+    shed_requests: int = 0
 
     def snapshot(self) -> dict:
         return dict(self.__dict__)
@@ -203,11 +208,22 @@ class ConcurrentEngine:
         timing: EngineTiming | None = None,
         coalesce: bool = True,
         sanitizer=None,
+        admission: AdmissionController | None = None,
     ):
         if max_inflight < 1:
             raise ConfigurationError("need at least one in-flight request")
         self.controller = controller
         self.seed = seed
+        #: Overload protection (see :mod:`repro.core.admission`).  When
+        #: set, submitted requests pass its rate limiter and bounded
+        #: queue, and its AIMD limiter caps how many green threads each
+        #: scheduling round dispatches.  Shed requests answer 429/503
+        #: with Retry-After and never reach the controller.
+        self.admission = admission
+        if admission is not None:
+            if admission.sessions is None:
+                admission.sessions = controller.sessions
+            admission.bind_telemetry(controller.telemetry)
         #: Concurrency-sanitizer hooks (see :mod:`repro.analysis`).
         #: The default shared no-op keeps the hot path free: one
         #: attribute lookup and a no-op call per event site.
@@ -233,6 +249,7 @@ class ConcurrentEngine:
         self.completion_log: list[tuple] = []
         self._items: list[_Item] = []
         self._pending: deque[_Item] = deque()
+        self._round_latencies: list[float] = []
         self._local = threading.local()
         self._locks = controller.request_locks
         self._clients = list(controller.store.clients)
@@ -269,7 +286,7 @@ class ConcurrentEngine:
     # -- submission and execution -----------------------------------------
 
     def submit(
-        self, request: Request, fingerprint: str = "fp", now: float = 0.0
+        self, request: Request, fingerprint: str = "fp", now: float = 0.0  # pesos: allow[det-default-clock]
     ) -> int:
         """Queue one request; returns its index into :meth:`run`'s result."""
         item = _Item(
@@ -279,7 +296,17 @@ class ConcurrentEngine:
             now=now,
         )
         self._items.append(item)
-        self._pending.append(item)
+        if self.admission is None:
+            self._pending.append(item)
+            return item.index
+        item.vqueued = self.stats.virtual_seconds
+        decision = self.admission.offer(
+            item, request, fingerprint, now, vnow=item.vqueued
+        )
+        if not decision.admitted:
+            item.response = decision.to_response()
+            self.stats.shed_requests += 1
+        self._collect_shed()
         return item.index
 
     def run(self, max_rounds: int = 1_000_000) -> list[Response]:
@@ -288,7 +315,15 @@ class ConcurrentEngine:
             self._admit()
             alive = self.scheduler.step()
             self.stats.rounds += 1
-            if not alive and not self._pending:
+            if self.admission is not None and self._round_latencies:
+                # One AIMD observation per round: the mean virtual
+                # latency (queue wait included) of this round's
+                # completions.  Deterministic — both the sample set and
+                # the fold order follow the dispatch schedule.
+                samples = self._round_latencies
+                self.admission.observe(sum(samples) / len(samples))
+                self._round_latencies = []
+            if not alive and not self._pending and not self._queued():
                 break
         else:
             raise ConfigurationError(
@@ -297,11 +332,14 @@ class ConcurrentEngine:
         self._surface_failures()
         return [item.response for item in self._items]
 
+    def _queued(self) -> int:
+        return 0 if self.admission is None else len(self.admission.queue)
+
     def run_batch(
         self,
         requests: list,
         fingerprint: str = "fp",
-        now: float = 0.0,
+        now: float = 0.0,  # pesos: allow[det-default-clock]
     ) -> list[Response]:
         """Convenience: submit a batch of requests and run it."""
         for entry in requests:
@@ -313,14 +351,37 @@ class ConcurrentEngine:
         return self.run()
 
     def _admit(self) -> None:
-        """Keep up to ``max_inflight`` requests live on the scheduler."""
-        while self._pending and self.scheduler.alive < self.max_inflight:
-            item = self._pending.popleft()
-            task = ThreadTask(
-                lambda handle, item=item: self._serve(handle, item)
-            )
-            item.tid = self.scheduler.spawn(task).tid
-            self.stats.requests += 1
+        """Keep up to ``max_inflight`` requests live on the scheduler.
+
+        With an admission controller attached, the effective width is
+        the smaller of ``max_inflight`` and the AIMD limit, and the
+        dispatch order (plus any queue-time shedding) is the admission
+        queue's.
+        """
+        if self.admission is None:
+            while self._pending and self.scheduler.alive < self.max_inflight:
+                self._spawn(self._pending.popleft())
+            return
+        width = min(self.max_inflight, self.admission.limiter.limit)
+        budget = width - self.scheduler.alive
+        if budget > 0:
+            vnow = self.stats.virtual_seconds
+            for item in self.admission.dispatch(vnow, budget):
+                self._spawn(item)
+        self._collect_shed()
+
+    def _spawn(self, item: _Item) -> None:
+        task = ThreadTask(
+            lambda handle, item=item: self._serve(handle, item)
+        )
+        item.tid = self.scheduler.spawn(task).tid
+        self.stats.requests += 1
+
+    def _collect_shed(self) -> None:
+        """Answer queue entries the admission controller shed."""
+        for item, decision in self.admission.take_shed():
+            item.response = decision.to_response()
+            self.stats.shed_requests += 1
 
     def _surface_failures(self) -> None:
         """Map green-thread crashes to 500 responses, in order."""
@@ -364,6 +425,10 @@ class ConcurrentEngine:
             if mode is not None and request.key:
                 self._locks.release(request.key, exclusive)
         item.response = response
+        if self.admission is not None:
+            self._round_latencies.append(
+                max(0.0, self.stats.virtual_seconds - item.vqueued)
+            )
         self.completion_log.append(
             (
                 item.index,
@@ -464,4 +529,10 @@ class ConcurrentEngine:
         lines.extend(
             f"{event}:{tid}" for event, tid in self.scheduler.dispatch_log
         )
+        if self.admission is not None:
+            # Admission decisions are part of the replayable schedule:
+            # a same-seed run must shed the same requests with the same
+            # Retry-After hints at the same decision points.
+            lines.append("--admission--")
+            lines.extend(self.admission.trace_lines())
         return "\n".join(lines).encode()

@@ -150,6 +150,7 @@ _REASONS = {
     404: "Not Found",
     409: "Conflict",
     410: "Gone",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }

@@ -32,6 +32,13 @@ class Session:
     #: Open transaction ids.
     transactions: set = field(default_factory=set)
     requests_handled: int = 0
+    #: Admission-control token bucket
+    #: (:class:`repro.core.admission.TokenBucket`), created lazily by
+    #: the :class:`~repro.core.admission.AdmissionController` on the
+    #: session's first rate-checked request.  Living on the session
+    #: means the rate state is keyed by TLS fingerprint and expires
+    #: exactly when the session does.
+    bucket: object | None = None
 
     def touch(self, now: float) -> None:
         self.last_active = now
@@ -56,8 +63,14 @@ class SessionManager:
     def __len__(self) -> int:
         return len(self._sessions)
 
-    def connect(self, fingerprint: str, now: float = 0.0) -> Session:
-        """Create or resume the session for an authenticated client."""
+    def connect(self, fingerprint: str, *, now: float) -> Session:
+        """Create or resume the session for an authenticated client.
+
+        ``now`` is required on purpose: a defaulted clock silently
+        pinned forgetful callers to time zero, which made every later
+        idle-eviction pass expire fresh sessions (or none, depending
+        on call order).  Callers must thread the virtual clock.
+        """
         if not fingerprint:
             raise SessionError("client presented no certificate fingerprint")
         session = self._sessions.get(fingerprint)
@@ -78,7 +91,7 @@ class SessionManager:
         self.created += 1
         return session
 
-    def lookup(self, fingerprint: str, now: float = 0.0) -> Session:
+    def lookup(self, fingerprint: str, *, now: float) -> Session:
         """Fetch an existing live session or raise."""
         session = self._sessions.get(fingerprint)
         if session is None:

@@ -16,7 +16,9 @@ that distributed transactions belong in a layer above Pesos (§4.4).
 from __future__ import annotations
 
 import hashlib
+from dataclasses import replace
 
+from repro.core.admission import AdmissionConfig, AdmissionController
 from repro.core.controller import PesosController
 from repro.core.request import Request, Response
 from repro.errors import ConfigurationError, RequestError, TransactionError
@@ -25,13 +27,36 @@ from repro.errors import ConfigurationError, RequestError, TransactionError
 class ShardedPesos:
     """Routes client requests across independent Pesos instances."""
 
-    def __init__(self, controllers: list[PesosController]):
+    def __init__(
+        self,
+        controllers: list[PesosController],
+        admission: AdmissionConfig | None = None,
+    ):
         if not controllers:
             raise ConfigurationError("need at least one shard")
         self.shards = list(controllers)
         self._txid_shard: dict[str, int] = {}
         self._opid_shard: dict[str, int] = {}
         self.routed = [0] * len(controllers)
+        #: Per-shard overload protection: each shard gets its own
+        #: :class:`AdmissionController` over its own session manager,
+        #: so one hot shard sheds without throttling its siblings.  The
+        #: jitter seed is offset per shard so Retry-After hints across
+        #: shards decorrelate while staying replayable.
+        self.admission: list[AdmissionController] | None = None
+        if admission is not None:
+            self.admission = [
+                AdmissionController(
+                    replace(
+                        admission,
+                        seed=admission.seed + index,
+                        priorities=dict(admission.priorities),
+                    ),
+                    sessions=shard.sessions,
+                    telemetry=getattr(shard, "telemetry", None),
+                )
+                for index, shard in enumerate(self.shards)
+            ]
 
     # -- routing ---------------------------------------------------------------
 
@@ -45,7 +70,7 @@ class ShardedPesos:
     # -- the load-balancer request path ------------------------------------------
 
     def handle(
-        self, request: Request, fingerprint: str, now: float = 0.0
+        self, request: Request, fingerprint: str, now: float = 0.0  # pesos: allow[det-default-clock]
     ) -> Response:
         request.validate()
         method = request.method
@@ -83,6 +108,14 @@ class ShardedPesos:
     def _route(
         self, index: int, request: Request, fingerprint: str, now: float
     ) -> Response:
+        if self.admission is not None:
+            # Per-shard gate at the single routing funnel.  Shedding
+            # happens before the shard sees the request, so a shed
+            # broadcast leg (e.g. put_policy) is retry-safe: policy ids
+            # are content hashes and re-installation is idempotent.
+            decision = self.admission[index].check(request, fingerprint, now)
+            if not decision.admitted:
+                return decision.to_response()
         self.routed[index] += 1
         return self.shards[index].handle(request, fingerprint, now)
 
@@ -167,3 +200,9 @@ class ShardedPesos:
 
     def total_requests(self) -> int:
         return sum(self.routed)
+
+    def admission_snapshot(self) -> list[dict]:
+        """Per-shard admission state, empty when admission is off."""
+        if self.admission is None:
+            return []
+        return [controller.snapshot() for controller in self.admission]

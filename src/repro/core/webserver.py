@@ -92,10 +92,21 @@ class WebServer:
         server_keys: KeyPair | None = None,
         client_trust: TrustStore | None = None,
         telemetry=None,
+        admission=None,
     ):
         self.controller = controller
         self.server_keys = server_keys
         self.client_trust = client_trust
+        #: Overload protection (:class:`repro.core.admission
+        #: .AdmissionController`).  When set, the synchronous path rate
+        #: limits per session before the controller runs, and
+        #: :meth:`handle_batch` hands the same instance to its engine
+        #: so the bounded queue and AIMD limiter govern dispatch.
+        self.admission = admission
+        if admission is not None:
+            if admission.sessions is None:
+                admission.sessions = controller.sessions
+            admission.bind_telemetry(controller.telemetry)
         if telemetry is None:
             # Share the controller's telemetry when it has a live one,
             # so /_metrics covers every layer in one registry.
@@ -135,7 +146,7 @@ class WebServer:
     # -- plain HTTP front-end ---------------------------------------------
 
     def handle_bytes(
-        self, raw: bytes, fingerprint: str, now: float = 0.0
+        self, raw: bytes, fingerprint: str, now: float = 0.0  # pesos: allow[det-default-clock]
     ) -> bytes:
         """One request/response cycle over raw HTTP bytes.
 
@@ -164,16 +175,27 @@ class WebServer:
                 root.set("method", request.method)
                 if request.key:
                     root.set("key", request.key)
-                try:
-                    response = self.controller.handle(
-                        request, fingerprint, now
-                    )
-                except PesosError as exc:
-                    response = Response(
-                        status=exc.status,
-                        error=str(exc),
-                        retry_after=getattr(exc, "retry_after", None),
-                    )
+                decision = (
+                    None
+                    if self.admission is None
+                    else self.admission.check(request, fingerprint, now)
+                )
+                if decision is not None and not decision.admitted:
+                    # Shed before any side effect: the controller never
+                    # sees the request, so retrying is always safe.
+                    response = decision.to_response()
+                    root.set("shed", decision.reason)
+                else:
+                    try:
+                        response = self.controller.handle(
+                            request, fingerprint, now
+                        )
+                    except PesosError as exc:
+                        response = Response(
+                            status=exc.status,
+                            error=str(exc),
+                            retry_after=getattr(exc, "retry_after", None),
+                        )
             self._m_responses.labels(str(response.status)).inc()
             if not response.ok:
                 self._m_errors.labels("response").inc()
@@ -190,7 +212,7 @@ class WebServer:
         items: list[tuple[bytes, str]],
         seed: int = 0,
         workers: int = 8,
-        now: float = 0.0,
+        now: float = 0.0,  # pesos: allow[det-default-clock]
     ) -> list[bytes]:
         """Serve many raw-HTTP requests concurrently; responses in order.
 
@@ -220,7 +242,10 @@ class WebServer:
                 parsed.append((index, request, fingerprint))
 
         with ConcurrentEngine(
-            self.controller, seed=seed, hardware_threads=workers
+            self.controller,
+            seed=seed,
+            hardware_threads=workers,
+            admission=self.admission,
         ) as engine:
             for _index, request, fingerprint in parsed:
                 engine.submit(request, fingerprint, now=now)
@@ -251,6 +276,8 @@ class WebServer:
             # Health must answer even with telemetry disabled: it is
             # what the load balancer polls when things go wrong.
             report = self.controller.health()
+            if self.admission is not None:
+                report["admission"] = self.admission.snapshot()
             status = 503 if report["status"] == "critical" else 200
             body = json.dumps(report, sort_keys=True).encode() + b"\n"
             return _admin_response(status, "application/json", body)
@@ -278,7 +305,7 @@ class WebServer:
     # -- TLS front-end ----------------------------------------------------------
 
     def accept(
-        self, client_keys: KeyPair, now: float = 0.0
+        self, client_keys: KeyPair, now: float = 0.0  # pesos: allow[det-default-clock]
     ) -> tuple["ClientConnection", SecureChannel]:
         """Run the handshake with a connecting client.
 
@@ -329,7 +356,7 @@ class ClientConnection:
     def fingerprint(self) -> str:
         return self.channel.peer_fingerprint
 
-    def serve(self, encrypted_request: bytes, now: float = 0.0) -> bytes:
+    def serve(self, encrypted_request: bytes, now: float = 0.0) -> bytes:  # pesos: allow[det-default-clock]
         """Decrypt, execute, and encrypt one request record."""
         raw = self.channel.recv(encrypted_request)
         response = self.server.handle_bytes(raw, self.fingerprint, now)

@@ -182,3 +182,31 @@ class ResultExpired(PesosError):
     """An async operation result was evicted from the result buffer."""
 
     status = 410
+
+
+# --------------------------------------------------------------------------
+# Admission control / overload protection
+# --------------------------------------------------------------------------
+
+class OverloadShed(PesosError):
+    """Admission control refused the request before it executed.
+
+    Shedding happens strictly *before* any side effect, so a shed
+    request was never applied and retrying is always safe.  Carries a
+    ``retry_after`` hint (seconds) the REST layer renders as a
+    ``Retry-After`` header, exactly like :class:`ReplicationDegraded`.
+    """
+
+    status = 503
+    retry_after = 1.0
+
+    def __init__(self, message: str, retry_after: float | None = None):
+        super().__init__(message)
+        if retry_after is not None:
+            self.retry_after = retry_after
+
+
+class RateLimited(OverloadShed):
+    """A per-session token bucket ran dry (client-attributable load)."""
+
+    status = 429

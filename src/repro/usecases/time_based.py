@@ -126,7 +126,7 @@ class TimeVault:
 
     def open_at(self, client: str, key: str, wall_clock: int) -> Response:
         """Attempt a read, presenting a time certificate for ``wall_clock``."""
-        session = self.controller.sessions.connect(client, float(wall_clock))
+        session = self.controller.sessions.connect(client, now=float(wall_clock))
         chain = self.authority.chain_for(wall_clock, nonce=session.nonce)
         return self.controller.handle(
             Request(method="get", key=key, certificates=chain),

@@ -31,6 +31,10 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     inserts: int = 0
+    #: Inserts refused because one entry outweighed the whole byte
+    #: budget.  Counted separately from evictions: nothing was cached,
+    #: so hit-rate dashboards must not read the refusal as churn.
+    rejected_oversize: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -125,7 +129,12 @@ class LFUCache(Generic[K, V]):
         weight = self._weigher(value) if self._weigher else 0
         if self.max_bytes is not None and weight > self.max_bytes:
             # An entry larger than the whole budget is never cacheable.
-            self.remove(key)
+            # Dropping a stale pre-existing entry is an eviction, and
+            # the refused insert is counted on its own so the stats
+            # still add up (inserts + rejected = put attempts).
+            if self.remove(key) is not None:
+                self.stats.evictions += 1
+            self.stats.rejected_oversize += 1
             return
         if key in self._values:
             self._total_weight += weight - self._weights[key]
@@ -156,6 +165,10 @@ class LFUCache(Generic[K, V]):
         self._key_bucket.clear()
         self._head = None
         self._total_weight = 0
+        # A reset starts a fresh aging epoch; leftover access counts
+        # would make the first aging pass fire early on the new
+        # population.
+        self._accesses_since_age = 0
 
     def frequency(self, key: K) -> int:
         """Current access frequency of ``key`` (0 if absent)."""

@@ -142,6 +142,40 @@ def test_literal_and_bounded_labels_are_fine():
     assert rules("m.labels('get', outcome).inc()\n") == []
 
 
+# -- det-default-clock -------------------------------------------------------
+
+def test_defaulted_now_in_core_flagged():
+    source = "def connect(fp, now=0.0):\n    pass\n"
+    assert rules(source) == ["det-default-clock"]
+
+
+def test_defaulted_keyword_only_clock_flagged():
+    source = "def sweep(*, wall_clock: float = 0.0):\n    pass\n"
+    assert rules(source) == ["det-default-clock"]
+
+
+def test_required_clock_is_fine():
+    source = "def connect(fp, *, now):\n    pass\n"
+    assert rules(source) == []
+
+
+def test_non_time_default_is_fine():
+    assert rules("def f(depth=3):\n    pass\n") == []
+
+
+def test_defaulted_clock_outside_core_is_fine():
+    source = "def run(now=0.0):\n    pass\n"
+    assert lint_source(source, "bench/harness.py") == []
+
+
+def test_defaulted_clock_pragma_allowed():
+    source = (
+        "def handle(req, now=0.0):  # pesos: allow[det-default-clock]\n"
+        "    pass\n"
+    )
+    assert rules(source) == []
+
+
 # -- the repository itself ---------------------------------------------------
 
 def test_repo_source_tree_is_clean():

@@ -1,0 +1,68 @@
+"""Overload bench: graceful degradation, shed contract, replayability."""
+
+from repro.bench.overload import (
+    OverloadConfig,
+    calibrate_capacity,
+    degradation,
+    make_overload_workload,
+    run_overload_point,
+    run_overload_sweep,
+)
+
+# Enough offered work for the unprotected queue to actually build up;
+# the collapse the sweep demonstrates is a function of queue growth.
+SMOKE = OverloadConfig(operations=192, multipliers=(1.0, 4.0))
+
+
+def _sweep():
+    return run_overload_sweep(SMOKE)
+
+
+def test_goodput_degrades_gracefully_with_admission():
+    sweep = _sweep()
+    assert degradation(sweep["admission"]) >= 0.8
+    # The unprotected series must do visibly worse at the same load.
+    protected = next(
+        p for p in sweep["admission"] if p.multiplier == 4.0
+    )
+    unprotected = next(
+        p for p in sweep["no-admission"] if p.multiplier == 4.0
+    )
+    assert protected.goodput > unprotected.goodput
+
+
+def test_queue_bounded_and_sheds_carry_retry_after():
+    for point in _sweep()["admission"]:
+        assert point.peak_queue_depth <= SMOKE.queue_depth
+        assert set(point.shed_by_status) <= {429, 503}
+        assert point.shed_with_retry_after == sum(
+            point.shed_by_status.values()
+        )
+
+
+def test_no_acked_write_lost_at_any_load():
+    for series in _sweep().values():
+        for point in series:
+            assert point.acked_writes > 0
+            assert point.acked_writes_lost == 0
+
+
+def test_sweep_is_byte_replayable():
+    first = [p.trace_sha for p in _sweep()["admission"]]
+    second = [p.trace_sha for p in _sweep()["admission"]]
+    assert first == second
+
+
+def test_workload_and_calibration_deterministic():
+    assert make_overload_workload(SMOKE)[0][0].key == (
+        make_overload_workload(SMOKE)[0][0].key
+    )
+    assert calibrate_capacity(SMOKE) == calibrate_capacity(SMOKE)
+
+
+def test_single_point_outcome_conservation():
+    capacity = calibrate_capacity(SMOKE)
+    point = run_overload_point(SMOKE, 4.0, True, capacity)
+    assert point.served + sum(point.shed_by_status.values()) == (
+        point.operations
+    )

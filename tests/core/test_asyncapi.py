@@ -54,3 +54,16 @@ def test_complete_after_eviction_is_noop():
 def test_unknown_id_expired():
     with pytest.raises(ResultExpired):
         AsyncTracker().query("op-00000001", "fp")
+
+
+def test_completed_after_evict_counter():
+    tracker = AsyncTracker(buffer_size=1)
+    first = tracker.begin("fp")
+    tracker.begin("fp")  # evicts first (still pending)
+    assert tracker.completed_after_evict == 0
+    assert tracker.complete(first.operation_id, "late result") is False
+    assert tracker.completed_after_evict == 1
+    # Completing a live entry does not touch the counter.
+    second = tracker.begin("fp")
+    assert tracker.complete(second.operation_id, "ok") is True
+    assert tracker.completed_after_evict == 1

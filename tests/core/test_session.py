@@ -35,7 +35,7 @@ def test_expired_session_replaced():
 def test_lookup_requires_existing():
     mgr = SessionManager()
     with pytest.raises(SessionError):
-        mgr.lookup("nobody")
+        mgr.lookup("nobody", now=0.0)
 
 
 def test_lookup_expired_raises():
@@ -47,7 +47,7 @@ def test_lookup_expired_raises():
 
 def test_empty_fingerprint_rejected():
     with pytest.raises(SessionError):
-        SessionManager().connect("")
+        SessionManager().connect("", now=0.0)
 
 
 def test_touch_tracks_activity():
@@ -61,7 +61,7 @@ def test_touch_tracks_activity():
 
 def test_nonce_refresh_changes_value():
     mgr = SessionManager()
-    session = mgr.connect("fp-1")
+    session = mgr.connect("fp-1", now=0.0)
     old = session.nonce
     assert session.refresh_nonce() != old
 
@@ -86,6 +86,6 @@ def test_max_sessions_evicts_oldest():
 
 def test_memory_accounting():
     mgr = SessionManager()
-    mgr.connect("a")
-    mgr.connect("b")
+    mgr.connect("a", now=0.0)
+    mgr.connect("b", now=0.0)
     assert mgr.memory_in_use() == 2 * SESSION_SOFT_BYTES

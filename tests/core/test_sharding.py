@@ -160,3 +160,49 @@ def test_total_requests(balancer):
     balancer.handle(Request(method="put", key="k", value=b"v"), ALICE)
     balancer.handle(Request(method="get", key="k"), ALICE)
     assert balancer.total_requests() == 2
+
+
+# -- per-shard admission ----------------------------------------------------
+
+def test_per_shard_admission_throttles_only_the_hot_shard():
+    from repro.core.admission import AdmissionConfig
+
+    balancer = ShardedPesos(
+        [_controller() for _ in range(3)],
+        admission=AdmissionConfig(rate_per_second=0.001, burst=1.0),
+    )
+    hot, cold = _keys_on_distinct_shards(balancer, count=2)
+    first = balancer.handle(
+        Request(method="put", key=hot, value=b"v"), ALICE, now=0.0
+    )
+    assert first.ok
+    limited = balancer.handle(
+        Request(method="put", key=hot, value=b"v"), ALICE, now=0.0
+    )
+    assert limited.status == 429
+    assert limited.retry_after is not None
+    # The same client still has a full bucket on every other shard.
+    other = balancer.handle(
+        Request(method="put", key=cold, value=b"v"), ALICE, now=0.0
+    )
+    assert other.ok
+
+
+def test_per_shard_admission_snapshot_and_seed_offsets():
+    from repro.core.admission import AdmissionConfig
+
+    balancer = ShardedPesos(
+        [_controller() for _ in range(3)],
+        admission=AdmissionConfig(seed=5),
+    )
+    assert balancer.admission is not None
+    seeds = [ctrl.config.seed for ctrl in balancer.admission]
+    assert seeds == [5, 6, 7]
+    snapshots = balancer.admission_snapshot()
+    assert len(snapshots) == 3
+    assert all(s["admitted"] == 0 for s in snapshots)
+
+
+def test_admission_off_by_default(balancer):
+    assert balancer.admission is None
+    assert balancer.admission_snapshot() == []

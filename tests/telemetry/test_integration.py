@@ -173,3 +173,30 @@ def test_slow_log_threshold():
     server = WebServer(controller)
     _roundtrip(server)
     assert len(slow_telemetry.tracer.slow()) == 2
+
+
+def test_async_completed_after_evict_surfaces(server, telemetry):
+    from repro.core.asyncapi import AsyncTracker
+
+    # buffer_size=0: every begin() immediately evicts its own entry,
+    # so the in-flight operation completes after eviction — the worst
+    # case the counter exists to witness.
+    server.controller.async_tracker = AsyncTracker(buffer_size=0)
+    raw = server.handle_bytes(
+        build_http_request(
+            Request(method="put", key="k", value=b"v", asynchronous=True)
+        ),
+        ALICE,
+    )
+    assert parse_http_response(raw).status == 202
+    status, body = _admin(server, "/_metrics")
+    assert status == 200
+    text = body.decode()
+    assert "pesos_async_completed_after_evict_total 1" in text
+    assert 'pesos_async_results_discarded_total{state="pending"} 1' in text
+    names = [
+        span.name
+        for root in telemetry.tracer.recent()
+        for span in root.walk()
+    ]
+    assert "async.completed_after_evict" in names

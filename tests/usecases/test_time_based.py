@@ -64,7 +64,7 @@ def test_lease_blocks_updates_until_expiry(vault, authority):
     # After expiry, owner presents a time certificate and succeeds.
     from repro.core.request import Request
 
-    session = vault.controller.sessions.connect(ALICE, float(RELEASE + 5))
+    session = vault.controller.sessions.connect(ALICE, now=float(RELEASE + 5))
     chain = authority.chain_for(RELEASE + 5, nonce=session.nonce)
     response = vault.controller.handle(
         Request(
@@ -81,7 +81,7 @@ def test_stale_time_certificate_rejected(vault, authority):
     """A certificate from after release replayed later... still works,
     but one *nonce-bound to another session* does not."""
     vault.seal_until(ALICE, "doc2", b"data", RELEASE)
-    vault.controller.sessions.connect(BOB, float(RELEASE + 10))
+    vault.controller.sessions.connect(BOB, now=float(RELEASE + 10))
     wrong_nonce_chain = authority.chain_for(RELEASE + 10, nonce="stolen")
     from repro.core.request import Request
 
@@ -100,7 +100,7 @@ def test_forged_time_certificate_rejected(vault, ca):
     vault.seal_until(ALICE, "doc3", b"data", RELEASE)
     from repro.core.request import Request
 
-    session = vault.controller.sessions.connect(BOB, float(RELEASE + 10))
+    session = vault.controller.sessions.connect(BOB, now=float(RELEASE + 10))
     chain = rogue.chain_for(RELEASE + 10, nonce=session.nonce)
     response = vault.controller.handle(
         Request(method="get", key="doc3", certificates=chain),

@@ -172,3 +172,134 @@ def test_never_exceeds_byte_budget(ops):
         assert cache.total_weight == sum(
             len(cache.peek(k)) for k in cache
         )
+
+
+# -- oversized entries (byte-budget edge cases) -----------------------------
+
+def test_oversized_insert_rejected_and_counted():
+    cache = LFUCache(max_bytes=10, weigher=len)
+    cache.put("big", b"x" * 11)
+    assert "big" not in cache
+    assert cache.total_weight == 0
+    assert cache.stats.rejected_oversize == 1
+    assert cache.stats.inserts == 0
+    assert cache.stats.evictions == 0
+
+
+def test_oversized_replace_drops_stale_entry_without_corrupting_weight():
+    cache = LFUCache(max_bytes=10, weigher=len)
+    cache.put("k", b"x" * 4)
+    cache.put("other", b"y" * 3)
+    cache.put("k", b"x" * 11)  # replacement outweighs the whole budget
+    # The stale 4-byte value must not survive (it no longer reflects
+    # the caller's write), and the accounting must not leak its weight.
+    assert "k" not in cache
+    assert cache.peek("other") == b"y" * 3
+    assert cache.total_weight == 3
+    assert cache.stats.rejected_oversize == 1
+    assert cache.stats.evictions == 1
+
+
+def test_exempt_key_evictable_only_when_alone():
+    cache = LFUCache(max_bytes=8, weigher=len)
+    cache.put("solo", b"x" * 5)
+    cache.put("solo", b"x" * 8)  # fits exactly; nothing else to evict
+    assert cache.peek("solo") == b"x" * 8
+    assert cache.total_weight == 8
+    cache.put("other", b"y" * 4)  # over budget: the exempt key stays
+    assert "other" in cache
+    assert "solo" not in cache or cache.total_weight <= 8
+
+
+def test_replace_with_heavier_value_evicts_others_not_self():
+    cache = LFUCache(max_bytes=10, weigher=len)
+    cache.put("a", b"x" * 3)
+    cache.put("b", b"y" * 3)
+    cache.put("a", b"x" * 9)  # fits the budget, but forces b out
+    assert cache.peek("a") == b"x" * 9
+    assert "b" not in cache
+    assert cache.total_weight == 9
+
+
+def test_clear_resets_aging_counter():
+    cache = LFUCache(max_entries=10, age_interval=4)
+    cache.put("a", 1)
+    for _ in range(3):
+        cache.get("a")  # 3 accesses into the 4-access aging epoch
+    cache.clear()
+    cache.put("b", 1)
+    cache.get("b")  # must NOT trigger aging (fresh epoch)
+    assert cache.frequency("b") == 2
+    cache.get("b")
+    cache.get("b")
+    assert cache.frequency("b") == 4
+    cache.get("b")  # 4th access since clear: aging fires now
+    assert cache.frequency("b") == 2
+
+
+# -- aging internals under seeded access traces -----------------------------
+
+def _check_structure(cache):
+    """Bucket chain and index agree after any operation sequence."""
+    seen = {}
+    bucket = cache._head
+    prev = None
+    last_freq = 0
+    while bucket:
+        assert bucket.keys, "empty bucket left linked"
+        assert bucket.prev is prev
+        assert bucket.freq > last_freq, "chain not strictly increasing"
+        for key in bucket.keys:
+            seen[key] = bucket
+        last_freq = bucket.freq
+        prev = bucket
+        bucket = bucket.next
+    assert seen.keys() == cache._values.keys()
+    assert cache._key_bucket == seen
+
+
+@given(
+    st.integers(0, 2**32 - 1),
+    st.integers(2, 6),
+)
+def test_maybe_age_preserves_structure_and_fifo(trace_seed, interval):
+    import random as _random
+
+    rng = _random.Random(trace_seed)
+    cache = LFUCache(max_entries=6, age_interval=interval)
+    keys = "abcdefgh"
+    inserted = []
+    for _step in range(60):
+        key = rng.choice(keys)
+        if rng.random() < 0.5:
+            if key not in cache:
+                inserted.append(key)
+            cache.put(key, key)
+        else:
+            cache.get(key)
+        _check_structure(cache)
+    # Aging halves frequencies but must never invent new ones: every
+    # surviving frequency is >= 1 and the victim scan still terminates.
+    for key in cache:
+        assert cache.frequency(key) >= 1
+
+
+@given(st.integers(0, 2**32 - 1))
+def test_aging_merge_preserves_bucket_fifo(trace_seed):
+    import random as _random
+
+    rng = _random.Random(trace_seed)
+    # age_interval=1: every touch triggers an aging pass, so merged
+    # buckets form constantly.  Insertion order within a bucket is the
+    # eviction order; a merge that reversed it would change victims.
+    cache = LFUCache(max_entries=4, age_interval=1)
+    for step in range(40):
+        key = f"k{rng.randrange(6)}"
+        cache.put(key, step)
+        _check_structure(cache)
+        bucket = cache._head
+        while bucket:
+            assert list(bucket.keys) == [
+                k for k in cache._key_bucket if cache._key_bucket[k] is bucket
+            ]
+            bucket = bucket.next
