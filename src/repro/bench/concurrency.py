@@ -77,12 +77,18 @@ class ConcurrencyPoint:
         }
 
 
-def build_concurrency_system(config: ConcurrencyConfig) -> PesosController:
+def build_concurrency_system(
+    config: ConcurrencyConfig,
+    telemetry=None,
+    audit_log_size: int | None = None,
+) -> PesosController:
     """Fresh controller + drives, preloaded with every workload key.
 
     Caches are kept tiny on purpose: the sweep measures how well the
     engine overlaps *drive* time, so reads must actually reach drives
-    rather than the object cache.
+    rather than the object cache.  ``telemetry`` threads a live sink
+    through the whole stack (SLO recording included);
+    ``audit_log_size`` enables the tamper-evident decision chain.
     """
     cluster = DriveCluster(num_drives=config.num_drives)
     clients = cluster.connect_all(
@@ -99,7 +105,9 @@ def build_concurrency_system(config: ConcurrencyConfig) -> PesosController:
             cache=CacheConfig(
                 object_bytes=1024, key_bytes=256, policy_bytes=4096
             ),
+            audit_log_size=audit_log_size,
         ),
+        telemetry=telemetry,
     )
     payload = _payload(config.value_size, config.seed)
     for index in range(config.record_count):

@@ -25,6 +25,7 @@ from repro.bench.harness import (
     run_point,
 )
 from repro.bench.report import FigureResult
+from repro.bench.trajectory import record as record_trajectory
 from repro.core.request import Request
 from repro.usecases.versioned import versioned_policy
 from repro.ycsb.workload import READ, WORKLOAD_A, WorkloadSpec
@@ -94,6 +95,13 @@ def fig3_fig4(clients=None) -> tuple[FigureResult, FigureResult]:
                 result = run_point(loaded, n, measure_ops=ops)
                 fig3.add(config.name, n, result)
                 fig4.add(config.name, n, result)
+    record_trajectory(
+        "fig3",
+        {
+            f"peak_kiops_{name}": round(fig3.peak(name) / 1000.0, 2)
+            for name in fig3.series
+        },
+    )
     return fig3, fig4
 
 
@@ -578,8 +586,20 @@ def concurrency_sweep(config=None) -> FigureResult:
             "Scone-style userspace threading hides drive latency (§4.6)"
         ],
     )
-    for point in run_concurrency_sweep(config):
+    points = run_concurrency_sweep(config)
+    for point in points:
         figure.add(config.name, point.workers, point)
+    baseline = points[0]
+    best = max(points, key=lambda point: point.throughput)
+    record_trajectory(
+        "concurrency",
+        {
+            "kiops_sequential": round(baseline.kiops, 2),
+            "kiops_peak": round(best.kiops, 2),
+            "peak_workers": best.workers,
+            "speedup": round(best.throughput / baseline.throughput, 3),
+        },
+    )
     return figure
 
 
@@ -608,7 +628,27 @@ def overload_sweep(config=None) -> FigureResult:
             "overload collapse superlinear"
         ],
     )
-    for name, points in run_overload_sweep(config).items():
+    from repro.bench.overload import degradation
+
+    sweep = run_overload_sweep(config)
+    for name, points in sweep.items():
         for point in points:
             figure.add(name, point.multiplier, point)
+    protected = sweep["admission"]
+    at_1x = min(protected, key=lambda p: abs(p.multiplier - 1.0))
+    record_trajectory(
+        "overload",
+        {
+            "goodput_peak": round(max(p.goodput for p in protected), 1),
+            "goodput_at_max_x": round(
+                max(protected, key=lambda p: p.multiplier).goodput, 1
+            ),
+            "degradation": round(degradation(protected), 4),
+            "unprotected_degradation": round(
+                degradation(sweep["no-admission"]), 4
+            ),
+            "p99_latency_ms_at_1x": round(at_1x.p99_latency * 1e3, 3),
+            "acked_writes_lost": sum(p.acked_writes_lost for p in protected),
+        },
+    )
     return figure

@@ -103,6 +103,10 @@ class OverloadPoint:
     acked_writes: int
     acked_writes_lost: int
     trace_sha: str
+    #: Audit-chain head digest + length when the point ran with the
+    #: tamper-evident decision log enabled ("" / 0 otherwise).
+    audit_head: str = ""
+    audit_records: int = 0
 
     @property
     def throughput(self) -> float:
@@ -174,9 +178,24 @@ def run_overload_point(
     multiplier: float,
     with_admission: bool,
     capacity: float,
+    telemetry=None,
+    audit_log_size: int | None = None,
+    sink: dict | None = None,
 ) -> OverloadPoint:
-    """Open-loop virtual-time simulation of one offered-load point."""
-    controller = build_concurrency_system(config.base)
+    """Open-loop virtual-time simulation of one offered-load point.
+
+    ``telemetry`` threads a live sink through the run: every completion
+    and shed folds into its SLO engine on virtual time (with trace-id
+    exemplars for breaching requests), and the tracer's virtual clock
+    follows the simulation.  ``audit_log_size`` enables the
+    tamper-evident decision chain; ``sink``, when given, receives the
+    live ``controller`` / ``admission`` / ``telemetry`` objects so
+    callers (tests, the SLO CI job) can inspect them afterwards.
+    """
+    controller = build_concurrency_system(
+        config.base, telemetry=telemetry, audit_log_size=audit_log_size
+    )
+    telemetry = controller.telemetry
     service = 1.0 / capacity
     round_s = config.round_services * service
     admission: AdmissionController | None = None
@@ -191,7 +210,9 @@ def run_overload_point(
                 seed=config.seed,
             ),
             sessions=controller.sessions,
+            telemetry=telemetry,
         )
+        admission.auditor = controller.auditor
     workload = make_overload_workload(config)
     offered = multiplier * capacity
     arrivals = [index / offered for index in range(len(workload))]
@@ -206,9 +227,14 @@ def run_overload_point(
     acked: dict[str, bytes] = {}
     carry = 0.0
     peak_plain = 0
+    if telemetry.enabled:
+        # Spans (and therefore SLO exemplars) carry the simulation's
+        # virtual clock, so /_traces and /_slo line up in one timeline.
+        telemetry.tracer.set_virtual_clock(lambda: vnow)
 
     def shed(token: int, decision) -> None:
         nonlocal outcomes, shed_retry
+        request, _fingerprint = workload[token]
         response = decision.to_response()
         shed_by_status[response.status] = (
             shed_by_status.get(response.status, 0) + 1
@@ -217,6 +243,9 @@ def run_overload_point(
             shed_retry += 1
         completions.append((token, "shed", response.status))
         outcomes += 1
+        telemetry.record_request(
+            request.method, False, max(0.0, vnow - arrivals[token]), vnow
+        )
 
     def serve(token: int) -> None:
         nonlocal outcomes, served, ok
@@ -228,8 +257,17 @@ def run_overload_point(
             ok += 1
             if request.method == "put":
                 acked[request.key] = request.value
-        latencies.append(vnow - arrivals[token])
+        latency = vnow - arrivals[token]
+        latencies.append(latency)
         completions.append((token, request.method, response.status))
+        trace_id = None
+        if telemetry.enabled:
+            recent = telemetry.tracer.recent(1)
+            if recent:
+                trace_id = recent[-1].trace_id
+        telemetry.record_request(
+            request.method, response.ok, latency, vnow, trace_id=trace_id
+        )
 
     for _ in range(config.max_rounds):
         if outcomes >= len(workload):
@@ -289,6 +327,10 @@ def run_overload_point(
         record.append("--admission--")
         record.extend(admission.trace_lines())
     ordered = sorted(latencies)
+    if sink is not None:
+        sink["controller"] = controller
+        sink["admission"] = admission
+        sink["telemetry"] = telemetry
     return OverloadPoint(
         multiplier=multiplier,
         admission=with_admission,
@@ -315,6 +357,12 @@ def run_overload_point(
         trace_sha=hashlib.sha256(
             "\n".join(record).encode()
         ).hexdigest()[:16],
+        audit_head=(
+            "" if controller.auditor is None else controller.auditor.head
+        ),
+        audit_records=(
+            0 if controller.auditor is None else len(controller.auditor.log)
+        ),
     )
 
 

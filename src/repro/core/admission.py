@@ -319,6 +319,12 @@ class AdmissionController:
         #: Shed queue entries not yet claimed by the caller:
         #: ``(token, decision)`` pairs (see :meth:`take_shed`).
         self._shed: list[tuple[object, AdmissionDecision]] = []
+        #: Optional :class:`repro.telemetry.audit.PolicyAuditor`.  When
+        #: the web server wires one (the controller's), every shed at
+        #: the admission gate lands in the same tamper-evident chain as
+        #: policy verdicts — the audit trail then answers "why did this
+        #: session get a 429/503?" alongside "which clause allowed it?".
+        self.auditor = None
         self._seq = 0
         self.admitted = 0
         self.shed_by_reason: dict[str, int] = {}
@@ -360,7 +366,9 @@ class AdmissionController:
         self, request: Request, fingerprint: str, now: float
     ) -> AdmissionDecision:
         """Per-session token-bucket check; the synchronous gate."""
-        return self._record(self._check_rate(request, fingerprint, now))
+        decision = self._record(self._check_rate(request, fingerprint, now))
+        self._audit_shed(decision, request, fingerprint, now)
+        return decision
 
     def _check_rate(
         self, request: Request, fingerprint: str, now: float
@@ -408,7 +416,9 @@ class AdmissionController:
         """
         decision = self._check_rate(request, fingerprint, now)
         if not decision.admitted:
-            return self._record(decision)
+            decision = self._record(decision)
+            self._audit_shed(decision, request, fingerprint, vnow)
+            return decision
         entry = _QueueEntry(
             seq=self._next_seq(),
             token=token,
@@ -419,7 +429,9 @@ class AdmissionController:
         victim = self.queue.push(entry)
         self._g_queue.set(len(self.queue))
         if victim is entry:
-            return self._record(self._shed_decision(SHED_QUEUE_FULL))
+            decision = self._record(self._shed_decision(SHED_QUEUE_FULL))
+            self._audit_shed(decision, request, fingerprint, vnow)
+            return decision
         if victim is not None:
             shed = self._record(self._shed_decision(SHED_QUEUE_FULL))
             self._shed.append((victim.token, shed))
@@ -503,6 +515,26 @@ class AdmissionController:
         ).digest()
         frac = int.from_bytes(digest[:8], "big") / 2**64
         return config.retry_after_base + frac * config.retry_after_jitter
+
+    def _audit_shed(
+        self,
+        decision: AdmissionDecision,
+        request: Request,
+        fingerprint: str,
+        vnow: float,
+    ) -> None:
+        """Append a shed to the audit chain (queue-eviction sheds of
+        *other* requests carry no request context here and stay in
+        :attr:`decision_log` only)."""
+        if decision.admitted or self.auditor is None:
+            return
+        self.auditor.record_shed(
+            method=request.method,
+            reason=decision.reason,
+            session=fingerprint,
+            key=request.key or "",
+            vnow=vnow,
+        )
 
     def _record(self, decision: AdmissionDecision) -> AdmissionDecision:
         index = len(self.decision_log)

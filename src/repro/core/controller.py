@@ -54,6 +54,7 @@ from repro.policy.compiler import compile_source
 from repro.policy.context import EvalContext, VersionInfo
 from repro.policy.interpreter import PolicyInterpreter
 from repro.telemetry import NULL_TELEMETRY
+from repro.telemetry.audit import PolicyAuditor
 from repro.telemetry.metrics import MetricFamily, Sample
 
 
@@ -95,6 +96,10 @@ class ControllerConfig:
     anti_entropy_interval: int | None = None
     #: Journal keys repaired per anti-entropy pass.
     anti_entropy_batch: int = 4
+    #: Retained records in the tamper-evident policy-decision audit
+    #: chain (:mod:`repro.sgx.auditlog`); None disables auditing and
+    #: keeps the policy hot path free of hashing.
+    audit_log_size: int | None = None
 
 
 def attestation_statement(
@@ -179,6 +184,16 @@ class PesosController:
         self.sessions = SessionManager(self.config.session_expiry)
         self.async_tracker = AsyncTracker()
         self.interpreter = PolicyInterpreter()
+        #: Tamper-evident policy-decision trail (``GET /_audit``).
+        #: Enabled by config, not by telemetry: the chain is a security
+        #: artifact and must exist (and stay deterministic) even when
+        #: metrics are off.
+        self.auditor: PolicyAuditor | None = None
+        if self.config.audit_log_size:
+            self.auditor = PolicyAuditor(
+                capacity=self.config.audit_log_size,
+                telemetry=self.telemetry,
+            )
         self.store = ObjectStore(
             clients,
             storage_key or _secrets.token_bytes(32),
@@ -577,6 +592,14 @@ class PesosController:
         else:
             decision = self.interpreter.evaluate(policy, operation, ctx)
         self.effects.record(POLICY_CHECK, decision.predicates_evaluated)
+        if self.auditor is not None:
+            self.auditor.record_decision(
+                decision,
+                policy_hash=policy.policy_hash(),
+                session=ctx.session_key,
+                key=ctx.this_id or ctx.log_id,
+                vnow=ctx.now,
+            )
         if not decision.granted:
             self._m_denied.labels(operation).inc()
             raise PolicyDenied(

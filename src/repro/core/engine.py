@@ -296,16 +296,17 @@ class ConcurrentEngine:
             now=now,
         )
         self._items.append(item)
+        item.vqueued = self.stats.virtual_seconds
         if self.admission is None:
             self._pending.append(item)
             return item.index
-        item.vqueued = self.stats.virtual_seconds
         decision = self.admission.offer(
             item, request, fingerprint, now, vnow=item.vqueued
         )
         if not decision.admitted:
             item.response = decision.to_response()
             self.stats.shed_requests += 1
+            self._record_slo(item)
         self._collect_shed()
         return item.index
 
@@ -382,6 +383,22 @@ class ConcurrentEngine:
         for item, decision in self.admission.take_shed():
             item.response = decision.to_response()
             self.stats.shed_requests += 1
+            self._record_slo(item)
+
+    def _record_slo(self, item: _Item) -> None:
+        """Fold one finished (or shed) request into the SLO budgets.
+
+        Latency is virtual queue-to-completion time — the same signal
+        the AIMD limiter consumes — so SLO burn under the engine is a
+        pure function of the dispatch schedule.
+        """
+        vnow = self.stats.virtual_seconds
+        self.controller.telemetry.record_request(
+            item.request.method,
+            item.response is not None and item.response.ok,
+            max(0.0, vnow - item.vqueued),
+            vnow,
+        )
 
     def _surface_failures(self) -> None:
         """Map green-thread crashes to 500 responses, in order."""
@@ -429,6 +446,7 @@ class ConcurrentEngine:
             self._round_latencies.append(
                 max(0.0, self.stats.virtual_seconds - item.vqueued)
             )
+        self._record_slo(item)
         self.completion_log.append(
             (
                 item.index,

@@ -38,6 +38,7 @@ from repro.crypto.channel import SecureChannel, establish_channel
 from repro.errors import PesosError
 from repro.telemetry import (
     Telemetry,
+    render_families,
     render_json,
     render_prometheus,
     render_traces_json,
@@ -107,6 +108,10 @@ class WebServer:
             if admission.sessions is None:
                 admission.sessions = controller.sessions
             admission.bind_telemetry(controller.telemetry)
+            if admission.auditor is None:
+                # Sheds join the controller's tamper-evident chain so
+                # the audit trail covers the full decision surface.
+                admission.auditor = controller.auditor
         if telemetry is None:
             # Share the controller's telemetry when it has a live one,
             # so /_metrics covers every layer in one registry.
@@ -158,6 +163,7 @@ class WebServer:
         telemetry = self.telemetry
         self._m_requests.inc()
         self._m_bytes.labels("in").inc(len(raw))
+        method: str | None = None
         with telemetry.span("http.request", fingerprint=fingerprint) as root:
             try:
                 with telemetry.span("http.parse", bytes=len(raw)):
@@ -172,6 +178,7 @@ class WebServer:
                 root.set("error", "parse_failure")
                 raise
             else:
+                method = request.method
                 root.set("method", request.method)
                 if request.key:
                     root.set("key", request.key)
@@ -202,6 +209,17 @@ class WebServer:
             root.set("status", response.status)
             with telemetry.span("http.render"):
                 rendered = render_http_response(response)
+        if method is not None:
+            # Fold the finished request into the SLO error budgets:
+            # virtual duration when the tracer has a virtual clock
+            # (benchmarks), wall seconds otherwise.  Sheds count as bad
+            # events — the client did not get service.
+            latency = root.virtual_duration
+            if latency is None:
+                latency = root.duration
+            telemetry.record_request(
+                method, response.ok, latency, now, trace_id=root.trace_id
+            )
         self._m_bytes.labels("out").inc(len(rendered))
         return rendered
 
@@ -266,7 +284,8 @@ class WebServer:
     # -- admin surface ----------------------------------------------------
 
     def _handle_admin(self, raw: bytes) -> bytes:
-        """Serve ``GET /_health``, ``GET /_metrics``, ``GET /_traces``."""
+        """Serve ``/_health``, ``/_metrics``, ``/_traces``, ``/_slo``,
+        and ``/_audit``."""
         request_line = raw.split(b"\r\n", 1)[0].decode("latin-1")
         parts = request_line.split(" ")
         target = parts[1] if len(parts) > 1 else ""
@@ -276,10 +295,43 @@ class WebServer:
             # Health must answer even with telemetry disabled: it is
             # what the load balancer polls when things go wrong.
             report = self.controller.health()
+            slo = self.telemetry.slo if self.telemetry.enabled else None
+            if slo is not None:
+                # Fold budget burn into the verdict: a store meeting
+                # quorum but hemorrhaging its error budget is not "ok".
+                severity = ("ok", "degraded", "critical")
+                slo_status = slo.health_status()
+                report["slo"] = {
+                    "status": slo_status,
+                    "worst_state": slo.worst_state(),
+                }
+                report["status"] = max(
+                    report["status"], slo_status, key=severity.index
+                )
             if self.admission is not None:
                 report["admission"] = self.admission.snapshot()
             status = 503 if report["status"] == "critical" else 200
             body = json.dumps(report, sort_keys=True).encode() + b"\n"
+            return _admin_response(status, "application/json", body)
+        if parsed.path == "/_audit":
+            # The audit chain is a security artifact, not telemetry: it
+            # answers even when metrics are off (it is config-gated by
+            # ``ControllerConfig.audit_log_size`` instead).
+            auditor = self.controller.auditor
+            if auditor is None:
+                return _admin_response(
+                    503, "text/plain", b"audit log disabled\n"
+                )
+            try:
+                limit = int(params.get("limit", ["64"])[0])
+            except ValueError:
+                limit = 64
+            verify = params.get("verify", ["0"])[0] not in ("", "0")
+            snapshot = auditor.snapshot(limit=limit, verify=verify)
+            status = 200
+            if verify and not snapshot["verification"]["ok"]:
+                status = 500  # the chain itself is the failing component
+            body = json.dumps(snapshot, sort_keys=True).encode() + b"\n"
             return _admin_response(status, "application/json", body)
         if not self.telemetry.enabled:
             return _admin_response(
@@ -293,12 +345,28 @@ class WebServer:
             return _admin_response(
                 200, "text/plain; version=0.0.4; charset=utf-8", body
             )
+        if parsed.path == "/_slo":
+            slo = self.telemetry.slo
+            if slo is None:
+                return _admin_response(
+                    503, "text/plain", b"no slo engine attached\n"
+                )
+            if params.get("format", [""])[0] == "prometheus":
+                body = render_families(list(slo.metric_families())).encode()
+                return _admin_response(
+                    200, "text/plain; version=0.0.4; charset=utf-8", body
+                )
+            body = json.dumps(slo.snapshot(), sort_keys=True).encode() + b"\n"
+            return _admin_response(200, "application/json", body)
         if parsed.path == "/_traces":
             try:
                 limit = int(params.get("limit", ["32"])[0])
             except ValueError:
                 limit = 32
-            body = render_traces_json(self.telemetry.tracer, limit).encode()
+            slow_only = params.get("slow", ["0"])[0] not in ("", "0")
+            body = render_traces_json(
+                self.telemetry.tracer, limit, slow_only=slow_only
+            ).encode()
             return _admin_response(200, "application/json", body)
         return _admin_response(404, "text/plain", b"unknown admin path\n")
 

@@ -113,6 +113,18 @@ def unify_tuple(pattern, actual: TupleValue, bindings: Bindings) -> bool:
     return True
 
 
+def render_bindings(snapshot: dict) -> str:
+    """Canonical one-line rendering of a bindings snapshot.
+
+    Deterministic (sorted names, each value via its ``render()``), so
+    audit-trail records embedding it stay byte-reproducible.
+    """
+    return ",".join(
+        f"{name}={value.render()}"
+        for name, value in sorted(snapshot.items())
+    )
+
+
 def require_int(arg, what: str) -> int:
     """Extract a bound integer or abort the clause."""
     if isinstance(arg, IntValue):

@@ -35,6 +35,30 @@ class Decision:
     def __bool__(self) -> bool:
         return self.granted
 
+    @property
+    def clause_path(self) -> str:
+        """Canonical path of the verdict inside the policy DNF.
+
+        The audit trail records this so an operator can answer "which
+        policy clause allowed this GET?" without re-running the
+        interpreter: ``read/clause[2]`` names the granting disjunct,
+        ``read/denied`` means every clause refused.
+        """
+        if not self.granted:
+            return f"{self.operation}/denied"
+        if self.matched_clause is None:
+            return f"{self.operation}/no-clause"
+        return f"{self.operation}/clause[{self.matched_clause}]"
+
+    def audit_detail(self) -> str:
+        """Deterministic diagnostics string for the audit record."""
+        from repro.policy.evalcore import render_bindings
+
+        detail = f"predicates={self.predicates_evaluated}"
+        if self.bindings:
+            detail += f";bindings[{render_bindings(self.bindings)}]"
+        return detail
+
 
 class PolicyInterpreter:
     """Evaluates compiled policies; stateless, shareable."""

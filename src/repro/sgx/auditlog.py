@@ -1,0 +1,220 @@
+"""Tamper-evident, hash-chained audit log inside the enclave boundary.
+
+Pesos's trust argument is that the storage layer *enforces* policy —
+which is only auditable if every decision leaves a trail an attacker
+(including the cloud operator) cannot silently rewrite.  The log lives
+in enclave memory next to the policy interpreter, and each appended
+record is chained to its predecessor::
+
+    entry_hash[i] = SHA-256(canonical(record[i], prev=entry_hash[i-1]))
+
+so flipping a single byte of any retained record breaks every hash
+from that point to the chain head.  The head digest is the compact
+commitment an operator scrapes (or seals — see :meth:`seal_head`) to
+detect rollback of the whole log.
+
+The log is a *ring*: only the newest ``capacity`` records stay
+resident (enclave memory is precious), but the chain itself never
+resets — evicting a record promotes its entry hash to the ``anchor``
+that verification starts from, so the head digest still commits to
+every record ever appended.
+
+Determinism matters as much as tamper evidence: records carry virtual
+timestamps and no wall-clock or randomness, so the same seed and
+request trace produce a byte-identical chain — replay divergence shows
+up as a head-digest mismatch, exactly like tampering.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import deque
+from dataclasses import asdict, dataclass
+from typing import Iterable
+
+#: The chain start: a fixed, public constant (no secret in the chain —
+#: tamper *evidence* comes from re-derivability, not secrecy).
+GENESIS = hashlib.sha256(b"pesos-audit-genesis").hexdigest()
+
+#: Decision vocabulary (``allow``/``deny`` from the policy interpreter,
+#: ``shed`` from admission control refusing to evaluate at all).
+DECISION_ALLOW = "allow"
+DECISION_DENY = "deny"
+DECISION_SHED = "shed"
+
+
+@dataclass
+class AuditRecord:
+    """One policy decision, chained to its predecessor.
+
+    Deliberately *not* frozen: tamper-evidence must come from the hash
+    chain itself, not from Python's attribute protection — tests (and
+    attackers) mutate fields and :meth:`AuditLog.verify` must notice.
+    """
+
+    seq: int
+    vnow: float
+    session: str
+    operation: str
+    key: str
+    decision: str
+    policy_hash: str
+    clause_path: str
+    detail: str
+    prev_hash: str
+    entry_hash: str
+
+    def canonical(self) -> bytes:
+        """Canonical byte encoding of everything the hash covers."""
+        body = asdict(self)
+        body.pop("entry_hash")
+        return json.dumps(
+            body, sort_keys=True, separators=(",", ":")
+        ).encode()
+
+    def expected_hash(self) -> str:
+        return hashlib.sha256(self.canonical()).hexdigest()
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+class AuditLog:
+    """Bounded ring of chained records with verifiable head digest."""
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError("audit log needs capacity >= 1")
+        self.capacity = capacity
+        self.records: deque[AuditRecord] = deque()
+        #: Entry hash of the newest *evicted* record; verification of
+        #: the retained window starts from here.
+        self.anchor = GENESIS
+        self.head = GENESIS
+        self.length = 0
+
+    def __len__(self) -> int:
+        return self.length
+
+    # -- appending ---------------------------------------------------------
+
+    def append(
+        self,
+        vnow: float,
+        session: str,
+        operation: str,
+        key: str,
+        decision: str,
+        policy_hash: str = "",
+        clause_path: str = "",
+        detail: str = "",
+    ) -> AuditRecord:
+        record = AuditRecord(
+            seq=self.length,
+            vnow=vnow,
+            session=session,
+            operation=operation,
+            key=key,
+            decision=decision,
+            policy_hash=policy_hash,
+            clause_path=clause_path,
+            detail=detail,
+            prev_hash=self.head,
+            entry_hash="",
+        )
+        record.entry_hash = record.expected_hash()
+        self.records.append(record)
+        self.head = record.entry_hash
+        self.length += 1
+        if len(self.records) > self.capacity:
+            evicted = self.records.popleft()
+            self.anchor = evicted.entry_hash
+        return record
+
+    # -- verification ------------------------------------------------------
+
+    def verify(self) -> dict:
+        """Re-derive the retained chain; report the first divergence.
+
+        Returns ``{"ok": bool, "checked": n, "head": digest,
+        "first_bad_seq": seq | None}``.  A single flipped byte in any
+        retained record (or a broken link / wrong head) fails.
+        """
+        prev = self.anchor
+        for record in self.records:
+            if record.prev_hash != prev or record.expected_hash() != (
+                record.entry_hash
+            ):
+                return {
+                    "ok": False,
+                    "checked": len(self.records),
+                    "head": self.head,
+                    "first_bad_seq": record.seq,
+                }
+            prev = record.entry_hash
+        if prev != self.head:
+            return {
+                "ok": False,
+                "checked": len(self.records),
+                "head": self.head,
+                "first_bad_seq": self.records[-1].seq if self.records else 0,
+            }
+        return {
+            "ok": True,
+            "checked": len(self.records),
+            "head": self.head,
+            "first_bad_seq": None,
+        }
+
+    @staticmethod
+    def replay(records: Iterable[AuditRecord], anchor: str = GENESIS) -> str:
+        """Head digest a fresh chain over ``records`` would produce.
+
+        The cross-run determinism check: replaying the same decisions
+        from the same anchor must reproduce the same head, byte for
+        byte.
+        """
+        head = anchor
+        for record in records:
+            clone = AuditRecord(
+                **{**record.to_dict(), "prev_hash": head, "entry_hash": ""}
+            )
+            head = clone.expected_hash()
+        return head
+
+    # -- exposition and sealing -------------------------------------------
+
+    def tail(self, limit: int = 64) -> list[AuditRecord]:
+        """Newest ``limit`` retained records, oldest first."""
+        records = list(self.records)
+        return records[-limit:] if limit else records
+
+    def snapshot(self, limit: int = 64) -> dict:
+        return {
+            "length": self.length,
+            "retained": len(self.records),
+            "capacity": self.capacity,
+            "anchor": self.anchor,
+            "head": self.head,
+            "records": [record.to_dict() for record in self.tail(limit)],
+        }
+
+    def seal_head(self, enclave) -> bytes:
+        """Seal ``(length, head)`` to this enclave's identity.
+
+        Persisting the sealed head across restarts lets the controller
+        detect rollback of the audit log itself: an unsealed head that
+        does not chain to the current log means history was rewritten.
+        """
+        statement = json.dumps(
+            {"length": self.length, "head": self.head},
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode()
+        return enclave.seal(statement)
+
+    @staticmethod
+    def unseal_head(enclave, blob: bytes) -> dict:
+        """Recover a sealed head statement (raises for foreign seals)."""
+        return json.loads(enclave.unseal(blob))

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from repro.telemetry.exposition import (
     registry_to_dict,
+    render_families,
     render_json,
     render_prometheus,
     render_traces_json,
@@ -41,6 +42,7 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     Sample,
 )
+from repro.telemetry.slo import SloEngine, SloSpec, classify, default_slos
 from repro.telemetry.tracing import NULL_SPAN, Span, Tracer
 
 
@@ -54,9 +56,34 @@ class Telemetry:
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         slow_threshold: float | None = None,
+        slo: SloEngine | None = None,
     ):
         self.registry = registry or MetricsRegistry()
         self.tracer = tracer or Tracer(slow_threshold=slow_threshold)
+        #: Optional SLO engine (:mod:`repro.telemetry.slo`); attach one
+        #: to make ``record_request`` fold completions into error
+        #: budgets and to land budget/burn gauges on ``/_metrics``.
+        self.slo: SloEngine | None = None
+        if slo is not None:
+            self.attach_slo(slo)
+
+    def attach_slo(self, slo: SloEngine | None = None) -> SloEngine:
+        """Attach (or create) the SLO engine and register its gauges."""
+        self.slo = slo or SloEngine()
+        self.slo.register(self.registry)
+        return self.slo
+
+    def record_request(
+        self,
+        method: str,
+        ok: bool,
+        latency: float,
+        vnow: float,
+        trace_id=None,
+    ) -> None:
+        """Fold one finished request into the SLO engine (if attached)."""
+        if self.slo is not None:
+            self.slo.record(method, ok, latency, vnow, trace_id)
 
     # -- instruments -----------------------------------------------------
 
@@ -118,6 +145,13 @@ class NullTelemetry:
     enabled = False
     registry = None
     tracer = None
+    slo = None
+
+    def attach_slo(self, _slo=None) -> None:
+        return None
+
+    def record_request(self, *_args, **_kwargs) -> None:
+        pass
 
     def counter(self, *_args, **_kwargs) -> _NullInstrument:
         return _NULL_INSTRUMENT
@@ -153,10 +187,15 @@ __all__ = [
     "NULL_TELEMETRY",
     "NullTelemetry",
     "Sample",
+    "SloEngine",
+    "SloSpec",
     "Span",
     "Telemetry",
     "Tracer",
+    "classify",
+    "default_slos",
     "registry_to_dict",
+    "render_families",
     "render_json",
     "render_prometheus",
     "render_traces_json",

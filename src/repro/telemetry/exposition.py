@@ -34,20 +34,37 @@ def _format_labels(labels: dict) -> str:
     return "{" + inner + "}"
 
 
+def _format_float(value: float) -> str:
+    """Shortest ``%g``-style string that round-trips to ``value``.
+
+    ``repr`` already picks the shortest decimal digits but keeps
+    artifacts like ``0.30000000000000004`` verbose where a scrape
+    pipeline only needs a parseable round-trip; probing ``.1g``
+    upward returns the first precision that survives ``float()``.
+    """
+    for precision in range(1, 18):
+        text = format(value, f".{precision}g")
+        if float(text) == value:
+            return text
+    return repr(float(value))
+
+
 def _format_value(value: float) -> str:
+    if value != value:  # NaN (empty-histogram percentile readouts)
+        return "NaN"
     if value == math.inf:
         return "+Inf"
     if value == -math.inf:
         return "-Inf"
     if float(value).is_integer():
         return str(int(value))
-    return repr(float(value))
+    return _format_float(float(value))
 
 
-def render_prometheus(registry) -> str:
-    """Render every family in ``registry`` as Prometheus text format."""
+def render_families(families) -> str:
+    """Render an iterable of metric families as Prometheus text."""
     lines: list[str] = []
-    for family in registry.collect():
+    for family in families:
         if family.help:
             lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
         lines.append(f"# TYPE {family.name} {family.kind}")
@@ -60,6 +77,11 @@ def render_prometheus(registry) -> str:
                     f"{_format_value(sample.value)}"
                 )
     return "\n".join(lines) + "\n"
+
+
+def render_prometheus(registry) -> str:
+    """Render every family in ``registry`` as Prometheus text format."""
+    return render_families(registry.collect())
 
 
 def _render_histogram_sample(lines: list, name: str, sample) -> None:
@@ -109,16 +131,28 @@ def render_json(registry) -> str:
     return json.dumps(registry_to_dict(registry), indent=2, sort_keys=True)
 
 
-def traces_to_dict(tracer, limit: int = 32) -> dict:
-    """JSON-ready dump of recent traces and the slow-request log."""
-    return {
+def traces_to_dict(
+    tracer, limit: int = 32, slow_only: bool = False
+) -> dict:
+    """JSON-ready dump of recent traces and the slow-request log.
+
+    ``slow_only`` drops the recent ring from the payload —
+    ``GET /_traces?slow=1`` — so an operator chasing a burning latency
+    SLO sees only attributable offenders (each slow entry carries the
+    root span's ``op`` label and ``trace_id``).
+    """
+    payload = {
         "spans_started": tracer.spans_started,
         "traces_completed": tracer.traces_completed,
         "slow_threshold_s": tracer.slow_threshold,
-        "recent": [span.to_dict() for span in tracer.recent(limit)],
         "slow": [span.to_dict() for span in tracer.slow()],
     }
+    if not slow_only:
+        payload["recent"] = [span.to_dict() for span in tracer.recent(limit)]
+    return payload
 
 
-def render_traces_json(tracer, limit: int = 32) -> str:
-    return json.dumps(traces_to_dict(tracer, limit), indent=2)
+def render_traces_json(
+    tracer, limit: int = 32, slow_only: bool = False
+) -> str:
+    return json.dumps(traces_to_dict(tracer, limit, slow_only), indent=2)

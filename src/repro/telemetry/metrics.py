@@ -22,6 +22,7 @@ Design constraints, in order:
 from __future__ import annotations
 
 import bisect
+import math
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
@@ -203,13 +204,16 @@ class _HistogramChild:
     def percentile(self, pct: float) -> float:
         """Percentile estimate with linear interpolation in-bucket.
 
-        Observations beyond the last bound report the top bound (the
-        histogram cannot know how far past it they landed).
+        An empty histogram has no percentiles: the readout is ``NaN``
+        (never a raise, and never a fake ``0.0`` that dashboards would
+        plot as a perfect latency).  Observations beyond the last bound
+        report the top bound (the histogram cannot know how far past
+        it they landed).
         """
         if not 0 < pct <= 100:
             raise ConfigurationError("percentile must be in (0, 100]")
         if not self.count:
-            return 0.0
+            return math.nan
         target = self.count * pct / 100.0
         running = 0
         for index, bucket_count in enumerate(self.counts):
@@ -250,7 +254,17 @@ class Histogram(_Instrument):
         self.labels().observe(value)
 
     def percentile(self, pct: float) -> float:
-        return self.labels().percentile(pct)
+        """Percentile over every label combination (``NaN`` when empty)."""
+        if not self.labelnames:
+            return self.labels().percentile(pct)
+        merged = _HistogramChild(self.bounds)
+        for child in self._children.values():
+            merged.counts = [
+                a + b for a, b in zip(merged.counts, child.counts)
+            ]
+            merged.sum += child.sum
+            merged.count += child.count
+        return merged.percentile(pct)
 
     @property
     def count(self) -> int:

@@ -79,9 +79,23 @@ class Span:
         for child in self.children:
             yield from child.walk()
 
+    @property
+    def op(self) -> str:
+        """Operation / request-class label for slow-log attribution.
+
+        Root spans of the request path carry the method as an
+        attribute (``http.request`` sets ``method``; explicit ``op``
+        wins); the span name is the fallback so infrastructure spans
+        stay attributable too.
+        """
+        value = self.attributes.get("op") or self.attributes.get("method")
+        return str(value) if value else self.name
+
     def to_dict(self) -> dict:
         record = {
             "name": self.name,
+            "trace_id": self.trace_id,
+            "op": self.op,
             "duration_s": self.duration,
             "attributes": self.attributes,
             "children": [child.to_dict() for child in self.children],
@@ -98,6 +112,8 @@ class _NullSpan:
 
     __slots__ = ()
     name = ""
+    op = ""
+    trace_id = 0
     attributes: dict = {}
     children: list = []
     duration = 0.0
@@ -199,6 +215,16 @@ class Tracer:
     def slow(self) -> list:
         """Slow-log contents, newest last."""
         return list(self._slow)
+
+    def find(self, trace_id: int) -> Span | None:
+        """Resolve a retained trace by id (SLO exemplars point here)."""
+        for span in reversed(self._recent):
+            if span.trace_id == trace_id:
+                return span
+        for span in reversed(self._slow):
+            if span.trace_id == trace_id:
+                return span
+        return None
 
     def reset(self) -> None:
         self._stack.clear()

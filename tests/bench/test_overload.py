@@ -66,3 +66,89 @@ def test_single_point_outcome_conservation():
     assert point.served + sum(point.shed_by_status.values()) == (
         point.operations
     )
+
+
+# -- SLO + audit acceptance -------------------------------------------------
+
+def _slo_telemetry():
+    """A latency objective tuned so a 2x run walks the whole state arc.
+
+    The threshold sits between an idle put's latency and the queue-wait
+    latency once the admission queue fills, and the burn thresholds are
+    reachable for the 30% budget: a seeded overload run starts healthy,
+    burns as queueing inflates latency, and exhausts the budget before
+    the run drains.
+    """
+    from repro.telemetry import Telemetry
+    from repro.telemetry.slo import SloEngine, SloSpec
+
+    telemetry = Telemetry()
+    engine = telemetry.attach_slo(SloEngine([
+        SloSpec(
+            name="put-latency", request_class="put/p2",
+            objective="latency", target=0.7, threshold=0.004,
+            window=60.0, fast_window=0.004, slow_window=0.01,
+            fast_burn=2.0, slow_burn=1.5,
+        ),
+    ]))
+    return telemetry, engine.get("put-latency")
+
+
+def test_overload_run_walks_healthy_burning_exhausted():
+    telemetry, objective = _slo_telemetry()
+    transitions = []
+
+    original = telemetry.record_request
+
+    def sampling(method, ok, latency, vnow, trace_id=None):
+        original(method, ok, latency, vnow, trace_id=trace_id)
+        state = objective.state(vnow)
+        if not transitions or transitions[-1] != state:
+            transitions.append(state)
+
+    telemetry.record_request = sampling
+    capacity = calibrate_capacity(SMOKE)
+    run_overload_point(SMOKE, 2.0, True, capacity, telemetry=telemetry)
+    assert transitions == ["healthy", "burning", "exhausted"]
+    assert objective.state(objective.last_vnow) == "exhausted"
+
+
+def test_overload_exemplars_resolve_to_traces():
+    telemetry, objective = _slo_telemetry()
+    capacity = calibrate_capacity(SMOKE)
+    run_overload_point(SMOKE, 2.0, True, capacity, telemetry=telemetry)
+    snap = objective.snapshot()
+    assert snap["state"] == "exhausted"
+    assert snap["exemplar_trace_ids"]
+    for trace_id in snap["exemplar_trace_ids"]:
+        span = telemetry.tracer.find(trace_id)
+        assert span is not None, hex(trace_id)
+        assert span.op == "put"
+
+
+def test_overload_audit_chain_is_deterministic():
+    capacity = calibrate_capacity(SMOKE)
+
+    def run():
+        sink = {}
+        point = run_overload_point(
+            SMOKE, 3.0, True, capacity, audit_log_size=512, sink=sink
+        )
+        auditor = sink["controller"].auditor
+        assert auditor.verify()["ok"]
+        hashes = [record.entry_hash for record in auditor.log.records]
+        return point.audit_head, point.audit_records, hashes
+
+    first = run()
+    second = run()
+    assert first == second
+    head, records, _hashes = first
+    assert records > 0
+    assert head
+
+
+def test_overload_point_without_audit_leaves_fields_empty():
+    capacity = calibrate_capacity(SMOKE)
+    point = run_overload_point(SMOKE, 1.0, True, capacity)
+    assert point.audit_head == ""
+    assert point.audit_records == 0

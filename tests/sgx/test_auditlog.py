@@ -1,0 +1,168 @@
+"""Hash-chained audit log: tamper evidence, ring anchors, sealing."""
+
+import pytest
+
+from repro.sgx.auditlog import GENESIS, AuditLog
+from repro.sgx.enclave import Enclave, EnclaveBinary
+
+
+def _fill(log, count, start=0):
+    for index in range(start, start + count):
+        log.append(
+            vnow=float(index),
+            session=f"fp-{index % 3}",
+            operation="read",
+            key=f"k-{index}",
+            decision="allow",
+            policy_hash="abc123",
+            clause_path="read/clause[0]",
+        )
+
+
+def test_empty_log_verifies_at_genesis():
+    log = AuditLog()
+    assert log.head == GENESIS
+    assert log.verify() == {
+        "ok": True, "checked": 0, "head": GENESIS, "first_bad_seq": None,
+    }
+
+
+def test_append_advances_head_and_chains_records():
+    log = AuditLog()
+    first = log.append(1.0, "fp-a", "read", "k", "allow")
+    second = log.append(2.0, "fp-a", "write", "k", "deny")
+    assert first.prev_hash == GENESIS
+    assert second.prev_hash == first.entry_hash
+    assert log.head == second.entry_hash
+    assert len(log) == 2
+    assert log.verify()["ok"]
+
+
+def test_single_flipped_byte_detected():
+    log = AuditLog()
+    _fill(log, 8)
+    victim = log.records[3]
+    victim.key = victim.key[:-1] + "X"
+    report = log.verify()
+    assert not report["ok"]
+    assert report["first_bad_seq"] == 3
+
+
+def test_tampered_entry_hash_detected():
+    log = AuditLog()
+    _fill(log, 4)
+    log.records[1].entry_hash = "0" * 64
+    report = log.verify()
+    assert not report["ok"]
+    # The forged hash itself fails seq 1; even if it matched the
+    # record, seq 2's prev link would break.
+    assert report["first_bad_seq"] == 1
+
+
+def test_tampered_head_detected():
+    log = AuditLog()
+    _fill(log, 4)
+    log.head = "f" * 64
+    assert not log.verify()["ok"]
+
+
+def test_decision_swap_detected():
+    # The canonical attack: rewrite a deny into an allow.
+    log = AuditLog()
+    log.append(1.0, "fp-a", "read", "k", "deny")
+    log.append(2.0, "fp-a", "read", "k", "allow")
+    log.records[0].decision = "allow"
+    report = log.verify()
+    assert not report["ok"]
+    assert report["first_bad_seq"] == 0
+
+
+def test_ring_eviction_promotes_anchor():
+    log = AuditLog(capacity=4)
+    _fill(log, 10)
+    assert len(log) == 10
+    assert len(log.records) == 4
+    # The anchor is the newest evicted entry's hash, so the retained
+    # window still verifies and the head commits to all 10 records.
+    assert log.anchor == log.records[0].prev_hash
+    assert log.anchor != GENESIS
+    assert log.verify()["ok"]
+
+
+def test_tamper_detected_after_eviction():
+    log = AuditLog(capacity=4)
+    _fill(log, 10)
+    log.records[0].session = "fp-evil"
+    assert not log.verify()["ok"]
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        AuditLog(capacity=0)
+
+
+def test_replay_reproduces_head():
+    log = AuditLog()
+    _fill(log, 6)
+    assert AuditLog.replay(log.records) == log.head
+
+
+def test_replay_from_anchor_after_eviction():
+    log = AuditLog(capacity=3)
+    _fill(log, 7)
+    assert AuditLog.replay(log.records, anchor=log.anchor) == log.head
+
+
+def test_same_appends_give_identical_chains():
+    first, second = AuditLog(), AuditLog()
+    _fill(first, 12)
+    _fill(second, 12)
+    assert first.head == second.head
+    assert [r.entry_hash for r in first.records] == [
+        r.entry_hash for r in second.records
+    ]
+
+
+def test_divergent_appends_give_different_heads():
+    first, second = AuditLog(), AuditLog()
+    _fill(first, 4)
+    _fill(second, 4)
+    second.append(9.0, "fp-x", "read", "k", "deny")
+    assert first.head != second.head
+
+
+def test_tail_returns_newest_oldest_first():
+    log = AuditLog()
+    _fill(log, 5)
+    tail = log.tail(2)
+    assert [record.seq for record in tail] == [3, 4]
+
+
+def test_snapshot_shape():
+    log = AuditLog(capacity=4)
+    _fill(log, 6)
+    snap = log.snapshot(limit=3)
+    assert snap["length"] == 6
+    assert snap["retained"] == 4
+    assert snap["capacity"] == 4
+    assert snap["head"] == log.head
+    assert len(snap["records"]) == 3
+    assert snap["records"][-1]["entry_hash"] == log.head
+
+
+def test_seal_head_roundtrip_and_foreign_enclave_rejected():
+    from repro.errors import AttestationError
+
+    binary = EnclaveBinary(name="pesos", content=b"code")
+    enclave = Enclave(binary=binary, platform_root_key=b"\x01" * 32)
+    log = AuditLog()
+    _fill(log, 3)
+    blob = log.seal_head(enclave)
+    statement = AuditLog.unseal_head(enclave, blob)
+    assert statement == {"length": 3, "head": log.head}
+    # A different measurement derives a different sealing key.
+    other = Enclave(
+        binary=binary.tampered(), platform_root_key=b"\x01" * 32
+    )
+    with pytest.raises(AttestationError):
+        AuditLog.unseal_head(other, blob)

@@ -1,0 +1,107 @@
+"""PolicyAuditor: decisions into the chain, chain onto the scrape."""
+
+from repro.policy.interpreter import Decision
+from repro.telemetry import Telemetry, render_prometheus
+from repro.telemetry.audit import (
+    DECISION_ALLOW,
+    DECISION_DENY,
+    DECISION_SHED,
+    PolicyAuditor,
+)
+
+
+def _allow(operation="read", clause=0):
+    return Decision(
+        granted=True, operation=operation, matched_clause=clause,
+        predicates_evaluated=2,
+    )
+
+
+def _deny(operation="write"):
+    return Decision(granted=False, operation=operation,
+                    predicates_evaluated=3)
+
+
+def test_record_decision_appends_allow_and_deny():
+    auditor = PolicyAuditor(capacity=16)
+    auditor.record_decision(
+        _allow(), policy_hash="p1", session="fp-a", key="k1", vnow=1.0
+    )
+    auditor.record_decision(
+        _deny(), policy_hash="p1", session="fp-b", key="k2", vnow=2.0
+    )
+    allow, deny = auditor.log.records
+    assert allow.decision == DECISION_ALLOW
+    assert allow.clause_path == "read/clause[0]"
+    assert allow.detail == "predicates=2"
+    assert deny.decision == DECISION_DENY
+    assert deny.clause_path == "write/denied"
+    assert auditor.decisions_by_kind == {"allow": 1, "deny": 1}
+    assert auditor.verify()["ok"]
+
+
+def test_record_shed_skips_policy_fields():
+    auditor = PolicyAuditor(capacity=16)
+    auditor.record_shed(
+        method="put", reason="rate", session="fp-a", key="k", vnow=3.0
+    )
+    (record,) = auditor.log.records
+    assert record.decision == DECISION_SHED
+    assert record.operation == "put"
+    assert record.detail == "rate"
+    assert record.policy_hash == ""
+    assert auditor.decisions_by_kind == {"shed": 1}
+
+
+def test_snapshot_counts_and_optional_verification():
+    auditor = PolicyAuditor(capacity=16)
+    auditor.record_decision(
+        _allow(), policy_hash="p1", session="fp-a", key="k", vnow=1.0
+    )
+    snap = auditor.snapshot()
+    assert snap["decisions"] == {"allow": 1}
+    assert "verification" not in snap
+    snap = auditor.snapshot(verify=True)
+    assert snap["verification"]["ok"]
+
+
+def test_same_sequence_gives_identical_heads():
+    def run():
+        auditor = PolicyAuditor(capacity=16)
+        auditor.record_decision(
+            _allow(), policy_hash="p", session="fp-a", key="k", vnow=1.0
+        )
+        auditor.record_shed(
+            method="get", reason="queue", session="fp-b", key="k2", vnow=2.0
+        )
+        return auditor.head
+
+    assert run() == run()
+
+
+def test_metric_families_bound_to_telemetry():
+    telemetry = Telemetry()
+    auditor = PolicyAuditor(capacity=16, telemetry=telemetry)
+    auditor.record_decision(
+        _allow(), policy_hash="p", session="fp-a", key="k", vnow=1.0
+    )
+    auditor.record_decision(
+        _deny(), policy_hash="p", session="fp-a", key="k", vnow=2.0
+    )
+    text = render_prometheus(telemetry.registry)
+    assert "pesos_audit_records_total 2" in text
+    assert f'pesos_audit_chain_head{{digest="{auditor.head}"}} 2' in text
+    assert 'pesos_audit_decisions_total{decision="allow"} 1' in text
+    assert 'pesos_audit_decisions_total{decision="deny"} 1' in text
+
+
+def test_null_telemetry_skips_binding():
+    from repro.telemetry import NULL_TELEMETRY
+
+    auditor = PolicyAuditor(capacity=16, telemetry=NULL_TELEMETRY)
+    auditor.record_shed(
+        method="get", reason="rate", session="fp", key="k", vnow=1.0
+    )
+    # The chain still records; only the scrape binding is skipped.
+    assert len(auditor.log) == 1
+    assert auditor.verify()["ok"]

@@ -5,7 +5,9 @@ import json
 import pytest
 
 from repro.telemetry import (
+    MetricFamily,
     MetricsRegistry,
+    Sample,
     Tracer,
     registry_to_dict,
     render_json,
@@ -106,6 +108,41 @@ def test_callback_families_render(registry):
     assert 'ratio{region="object"} 0.5' in text
 
 
+def test_float_formatting_shortest_roundtrip():
+    from repro.telemetry.exposition import _format_value
+
+    # Shortest decimal that parses back to the exact value.
+    assert _format_value(0.3) == "0.3"
+    assert float(_format_value(0.1 + 0.2)) == 0.1 + 0.2
+    assert _format_value(0.025) == "0.025"
+    assert _format_value(2.5e-06) == "2.5e-06"
+    assert _format_value(1.0) == "1"
+    assert _format_value(-4.0) == "-4"
+    assert _format_value(float("nan")) == "NaN"
+    assert _format_value(float("inf")) == "+Inf"
+    assert _format_value(float("-inf")) == "-Inf"
+
+
+def test_float_formatting_roundtrips_default_buckets():
+    from repro.telemetry import DEFAULT_LATENCY_BUCKETS, DEFAULT_SIZE_BUCKETS
+    from repro.telemetry.exposition import _format_value
+
+    for bound in (*DEFAULT_LATENCY_BUCKETS, *DEFAULT_SIZE_BUCKETS):
+        assert float(_format_value(bound)) == bound
+
+
+def test_nan_gauge_renders_as_nan(registry):
+    registry.register_callback(
+        lambda: [
+            MetricFamily(
+                name="p99", kind="gauge", help="",
+                samples=[Sample("p99", {}, float("nan"))],
+            )
+        ]
+    )
+    assert "p99 NaN" in render_prometheus(registry)
+
+
 def test_traces_to_dict_shape():
     tracer = Tracer(slow_threshold=0.0)
     with tracer.span("root", method="get"):
@@ -122,6 +159,18 @@ def test_traces_to_dict_shape():
     # threshold 0.0 puts everything in the slow log
     assert dump["slow"][0]["name"] == "root"
     json.loads(render_traces_json(tracer))
+
+
+def test_traces_slow_only_drops_recent_ring():
+    tracer = Tracer(slow_threshold=0.0)
+    with tracer.span("http.request", method="put"):
+        pass
+    dump = traces_to_dict(tracer, slow_only=True)
+    assert "recent" not in dump
+    (slow,) = dump["slow"]
+    # Slow entries are attributable: op label + trace id for /_traces.
+    assert slow["op"] == "put"
+    assert slow["trace_id"]
 
 
 def test_traces_limit():

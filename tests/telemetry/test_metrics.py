@@ -1,5 +1,7 @@
 """Metrics registry: instruments, labels, and histogram math."""
 
+import math
+
 import pytest
 
 from repro.errors import ConfigurationError
@@ -107,12 +109,45 @@ def test_histogram_overflow_reports_top_bound(registry):
 
 
 def test_histogram_empty_and_bad_percentile(registry):
+    # An empty histogram has no percentiles: NaN, never a fake 0.0
+    # that a dashboard would plot as perfect latency.
     histogram = registry.histogram("lat", buckets=(1.0,))
-    assert histogram.percentile(99) == 0.0
+    assert math.isnan(histogram.percentile(99))
     with pytest.raises(ConfigurationError):
         histogram.percentile(0)
     with pytest.raises(ConfigurationError):
         histogram.percentile(101)
+
+
+def test_histogram_empty_labeled_percentile_is_nan(registry):
+    histogram = registry.histogram("lat", labelnames=("op",), buckets=(1.0,))
+    assert math.isnan(histogram.percentile(50))
+
+
+def test_histogram_single_bucket_percentile(registry):
+    histogram = registry.histogram("lat", buckets=(1.0,))
+    histogram.observe(0.25)
+    # One bucket: every percentile interpolates inside (0, 1.0].
+    assert 0.0 < histogram.percentile(50) <= 1.0
+    assert histogram.percentile(100) == pytest.approx(1.0)
+
+
+def test_histogram_all_overflow_percentile_reports_top_bound(registry):
+    histogram = registry.histogram("lat", buckets=(1.0, 2.0))
+    for _ in range(5):
+        histogram.observe(100.0)  # everything lands in +Inf
+    assert histogram.percentile(50) == 2.0
+    assert histogram.percentile(99) == 2.0
+
+
+def test_histogram_percentile_merges_label_children(registry):
+    histogram = registry.histogram("lat", labelnames=("op",),
+                                   buckets=(1.0, 2.0, 4.0))
+    for _ in range(50):
+        histogram.labels("get").observe(0.5)
+    for _ in range(50):
+        histogram.labels("put").observe(1.5)
+    assert histogram.percentile(50) == pytest.approx(1.0)
 
 
 def test_histogram_empty_buckets_fall_back_to_defaults():
