@@ -39,6 +39,16 @@ suite depends on but cannot easily assert:
     depending on call order, not on the clock.  Outer entry points
     that deliberately treat the virtual epoch as "no clock yet" carry
     pragmas; everything below them must require the clock.
+``core-unverified-meta-read``
+    ``core/`` code outside the store and the freshness layer never
+    reads drive state through a raw client call (``.get``,
+    ``.get_key_range``, ...).  Such reads bypass Merkle proof
+    verification against the pinned root, so a replayed stale replica
+    would be trusted on its version number alone — the exact hole
+    rollback protection closes.  Route reads through
+    ``ObjectStore.read_meta`` / ``read_policy`` / ``read_value``;
+    deliberate raw reads (e.g. migration sources whose result
+    re-enters the verified path) carry pragmas.
 
 Suppression: ``# pesos: allow[rule-id]`` on the flagged line or the
 line above (see :mod:`repro.analysis.findings`).
@@ -115,9 +125,46 @@ _HIGH_CARDINALITY_NAMES = {
 _TIME_PARAM_NAMES = {"now", "wall_clock", "timestamp"}
 
 
+#: Drive-client read methods that return raw (proof-unverified) state.
+_DRIVE_READ_ATTRS = {
+    "get",
+    "get_version",
+    "get_next",
+    "get_previous",
+    "get_key_range",
+}
+
+#: The two core modules that *implement* verification and therefore
+#: legitimately touch raw client reads.
+_FRESHNESS_EXEMPT = ("core/store.py", "core/freshness.py")
+
+
 #: Modules whose import aliases the visitor resolves, so
 #: ``import time as _time`` cannot dodge the rules.
 _TRACKED_MODULES = {"time", "datetime", "random", "socket", "subprocess", "os"}
+
+
+def _receiver_names(node: ast.AST) -> list[str]:
+    """Every identifier in a call-receiver chain, subscripts included.
+
+    ``self.store.clients[index]`` yields ``["clients", "store",
+    "self"]`` — unlike :func:`_dotted`, which gives up at the
+    subscript.  Calls in the chain resolve through their function.
+    """
+    names: list[str] = []
+    while True:
+        if isinstance(node, ast.Attribute):
+            names.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        elif isinstance(node, ast.Name):
+            names.append(node.id)
+            return names
+        else:
+            return names
 
 
 def _dotted(node: ast.AST) -> tuple[str, ...] | None:
@@ -242,6 +289,26 @@ class _Visitor(ast.NodeVisitor):
                 "the intercepted client call",
             )
 
+    # -- unverified metadata reads -----------------------------------------
+
+    def _check_unverified_meta_read(self, node: ast.Call) -> None:
+        if not self.in_core or self.rel_path in _FRESHNESS_EXEMPT:
+            return
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr not in _DRIVE_READ_ATTRS:
+            return
+        receiver = _receiver_names(func.value)
+        if any(name in ("client", "clients") for name in receiver):
+            self.report(
+                "core-unverified-meta-read",
+                node,
+                f"raw drive read .{func.attr}() bypasses Merkle proof "
+                "verification against the pinned root; read through the "
+                "store's verified read path",
+            )
+
     # -- telemetry labels --------------------------------------------------
 
     def _check_labels(self, node: ast.Call) -> None:
@@ -359,6 +426,7 @@ class _Visitor(ast.NodeVisitor):
         self._check_wall_clock(node)
         self._check_sgx_io(node)
         self._check_drive_bypass(node)
+        self._check_unverified_meta_read(node)
         self._check_labels(node)
         self.generic_visit(node)
 

@@ -33,11 +33,13 @@ _RUNNERS = {
     "abl-epc": experiments.ablation_epc,
     "concurrency": experiments.concurrency_sweep,
     "overload": experiments.overload_sweep,
+    "freshness": experiments.freshness_overhead,
 }
 
 _DEFAULT = [
     "fig3+4", "fig5", "fig6", "enc", "fig7", "fig8", "fig9", "fig10",
     "abl-syscalls", "abl-caches", "abl-epc", "concurrency", "overload",
+    "freshness",
 ]
 
 
@@ -55,6 +57,12 @@ def main(argv: list[str]) -> int:
         figures = result if isinstance(result, tuple) else (result,)
         for figure in figures:
             print()
+            if isinstance(figure, dict):
+                # Scalar experiments (e.g. freshness) return a plain
+                # metrics dict instead of a FigureResult.
+                for key in sorted(figure):
+                    print(f"  {key} = {figure[key]}")
+                continue
             print(figure.render())
             breakdown = figure.render_breakdown()
             if breakdown:

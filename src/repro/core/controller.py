@@ -42,6 +42,7 @@ from repro.core.store import ObjectStore, StoreBackedView, StoredMeta
 from repro.core.txn import Transaction, VllManager
 from repro.crypto.aead import StreamAead
 from repro.errors import (
+    ForkDetected,
     ObjectNotFound,
     PesosError,
     PolicyDenied,
@@ -100,6 +101,15 @@ class ControllerConfig:
     #: chain (:mod:`repro.sgx.auditlog`); None disables auditing and
     #: keeps the policy hot path free of hashing.
     audit_log_size: int | None = None
+    #: Root object/policy metadata in an authenticated dictionary
+    #: pinned by a sealed monotonic counter
+    #: (:mod:`repro.core.freshness`): reads verify Merkle proofs
+    #: instead of trusting replica version numbers, and startup
+    #: refuses to serve after fork detection.  Implied by passing a
+    #: ``freshness_env`` to the controller.
+    freshness_enabled: bool = False
+    #: Entries in the freshness proof cache (keyed by pin epoch).
+    freshness_cache_entries: int = 4096
 
 
 def attestation_statement(
@@ -173,6 +183,7 @@ class PesosController:
         effects: EffectsRecorder | None = None,
         signing_keys=None,
         telemetry=None,
+        freshness_env=None,
     ):
         self.config = config or ControllerConfig()
         self.telemetry = telemetry or NULL_TELEMETRY
@@ -210,6 +221,29 @@ class PesosController:
         self.anti_entropy = AntiEntropyRepairer(
             self.store, telemetry=self.telemetry
         )
+        #: Rollback/fork protection (:mod:`repro.core.freshness`):
+        #: created before the store is wired to it, so the bootstrap
+        #: rebuild reads raw quorum state.  A forked authority stays
+        #: attached to the controller (health must report it) but is
+        #: never attached to the store — the request gate refuses
+        #: service before any read happens.
+        self.freshness = None
+        if self.config.freshness_enabled or freshness_env is not None:
+            from repro.core.freshness import (
+                FreshnessAuthority,
+                FreshnessEnvironment,
+            )
+
+            env = freshness_env or FreshnessEnvironment.ephemeral()
+            self.freshness = FreshnessAuthority(
+                env,
+                telemetry=self.telemetry,
+                auditor=self.auditor,
+                cache_entries=self.config.freshness_cache_entries,
+            )
+            self.freshness.bootstrap(self.store)
+            if not self.freshness.forked:
+                self.store.freshness = self.freshness
         #: Public keys of external authorities (time servers, group
         #: CAs) by fingerprint, available to certificateSays.
         self.authority_keys = dict(authority_keys or {})
@@ -329,6 +363,7 @@ class PesosController:
             # Uninstrumented fast path: identical to the historical
             # request loop, so benchmark numbers are unaffected.
             try:
+                self._freshness_gate(now)
                 request.validate()
                 session = self.sessions.connect(fingerprint, now=now)
                 session.touch(now)
@@ -344,6 +379,7 @@ class PesosController:
             if request.key:
                 span.set("key", request.key)
             try:
+                self._freshness_gate(now)
                 request.validate()
                 session = self.sessions.connect(fingerprint, now=now)
                 session.touch(now)
@@ -363,6 +399,20 @@ class PesosController:
             self._m_ops.labels(request.method, outcome).inc()
             self._count_transitions(events_before)
         return response
+
+    def _freshness_gate(self, now: float) -> None:
+        """Refuse every request while fork detection holds the line.
+
+        Also stamps the authority's virtual clock so pin records and
+        health figures carry the request's deterministic timestamp.
+        """
+        if self.freshness is None:
+            return
+        self.freshness.vnow = now
+        if self.freshness.forked:
+            raise ForkDetected(
+                f"controller refuses to serve: {self.freshness.fork_reason}"
+            )
 
     @staticmethod
     def _error_response(exc: PesosError) -> Response:
@@ -396,6 +446,12 @@ class PesosController:
         report = self.store.health_snapshot()
         report["requests_handled"] = self.requests_handled
         report["anti_entropy_runs"] = self.anti_entropy.runs
+        if self.freshness is not None:
+            report["freshness"] = self.freshness.snapshot()
+            if self.freshness.forked:
+                # A detected fork outranks drive health: the fleet may
+                # be perfectly reachable and still be lying.
+                report["status"] = "critical"
         return report
 
     def _count_transitions(self, events_before: int) -> None:
@@ -691,7 +747,16 @@ class PesosController:
         if value is None and self.ssd_cache is not None:
             value = self.ssd_cache.get(cache_key)
         if value is None:
-            value = self.store.read_value(request.key, version)
+            expect = None
+            if self.store._verifying():
+                # The metadata record was proof-verified against the
+                # pinned root, so its content hash anchors the value:
+                # a replayed old copy of an overwritten slot decrypts
+                # fine but cannot match.
+                expect = meta.versions[version].content_hash
+            value = self.store.read_value(
+                request.key, version, expect_sha256=expect
+            )
             if self.ssd_cache is not None:
                 self.ssd_cache.put(cache_key, value)
         self.caches.put_object(cache_key, value)

@@ -237,7 +237,11 @@ class ElasticStore:
         for drive_id in old_drive_ids:
             index = self._index_of(drive_id)
             try:
-                blob, _version = self.store.clients[index].get(disk_key)
+                # Migration-source read: raw on purpose — the old
+                # placement's copy feeds a re-write that re-enters the
+                # verified path, and the pinned leaf digest protects
+                # every subsequent read wherever the key lands.
+                blob, _version = self.store.clients[index].get(disk_key)  # pesos: allow[core-unverified-meta-read]
                 return blob
             except (KineticNotFound, DriveOffline):
                 continue

@@ -42,6 +42,7 @@ from repro.core.effects import (
     ENCRYPT,
     NullRecorder,
 )
+from repro.core.freshness import object_label, policy_label, record_digest
 from repro.core.health import STATE_CODES, HealthTracker
 from repro.crypto.aead import StreamAead
 from repro.errors import (
@@ -52,6 +53,7 @@ from repro.errors import (
     KineticError,
     KineticNotFound,
     ReplicationDegraded,
+    StaleReplica,
     TransientIOError,
 )
 from repro.policy.context import ObjectView, VersionInfo, parse_content_tuples
@@ -171,6 +173,11 @@ class ObjectStore:
             cooldown_ops=breaker_cooldown_ops,
         )
         self.journal = DirtyJournal()
+        #: Attached by the controller after fork detection succeeds;
+        #: while set (and active), metadata reads verify against the
+        #: pinned Merkle root and mutations pin a new root
+        #: (:mod:`repro.core.freshness`).
+        self.freshness = None
         #: When set, only the newest N versions keep per-version
         #: metadata (size/hash/policy-hash) in the hot ``m/`` record;
         #: older version *values* stay on disk but are no longer
@@ -230,12 +237,17 @@ class ObjectStore:
         drive = getattr(self.clients[index], "drive", None)
         return getattr(drive, "drive_id", f"drive-{index}")
 
+    def _verifying(self) -> bool:
+        """Whether reads/writes go through the freshness authority."""
+        return self.freshness is not None and self.freshness.active
+
     def _read_with_failover(
         self,
         object_key: str,
         disk_key: bytes,
         aad: bytes | None = None,
         kind: str = KIND_OBJECT,
+        expect_sha256: str | None = None,
     ) -> bytes:
         """Read one disk key, failing over across the placement.
 
@@ -255,11 +267,20 @@ class ObjectStore:
         data may exist on a dead drive, and the read raises the drive
         error instead of claiming absence.  Corrupt copies prove
         existence, so they outrank absence.
+
+        ``expect_sha256`` pins the plaintext to a known content hash
+        (from the proof-verified metadata record): replicas serving a
+        decryptable-but-different value — a replayed old copy of an
+        overwritten slot — fail over like corrupt ones, and when no
+        replica matches the read raises
+        :class:`~repro.errors.StaleReplica` rather than serve rolled-
+        back content.
         """
         instrumented = self.telemetry.enabled
         started = _time.perf_counter() if instrumented else 0.0
         drive_error: Exception | None = None
         corrupt_error: Exception | None = None
+        stale_error: Exception | None = None
         not_found: Exception | None = None
         missing_count = 0
         with self.telemetry.span("kinetic.get", key=object_key):
@@ -298,6 +319,18 @@ class ObjectStore:
                         continue
                 else:
                     value = blob
+                if expect_sha256 is not None and (
+                    hashlib.sha256(value).hexdigest() != expect_sha256
+                ):
+                    self._m_replica_failures.labels("stale").inc()
+                    if self.freshness is not None:
+                        self.freshness.reject_stale(object_key)
+                    data_failures.append(index)
+                    stale_error = StaleReplica(
+                        f"replica {index} serves stale content for "
+                        f"{object_key!r}"
+                    )
+                    continue
                 self.effects.record(DISK_READ, index, len(blob))
                 if instrumented:
                     self._h_drive_op.labels("read").observe(
@@ -313,6 +346,8 @@ class ObjectStore:
         absence_quorum = len(replicas) - min(
             self.write_quorum, len(replicas)
         ) + 1
+        if stale_error is not None:
+            raise stale_error
         if corrupt_error is not None:
             raise corrupt_error
         if missing_count >= absence_quorum:
@@ -435,6 +470,174 @@ class ObjectStore:
             self._h_drive_op.labels("delete").observe(
                 _time.perf_counter() - started
             )
+
+    # -- authenticated freshness -------------------------------------------
+
+    def scan_labels(self) -> list[str]:
+        """Every metadata label present on any reachable drive.
+
+        Used by :meth:`repro.core.freshness.FreshnessAuthority
+        .bootstrap` to rebuild the authenticated dictionary at startup:
+        the union over all drives of the ``m/`` and ``p/`` key ranges,
+        paginated per the Kinetic ``GETKEYRANGE`` contract.  Offline
+        drives are skipped — whether the missing coverage matters is
+        decided by the root comparison, not here.
+        """
+        labels: set[str] = set()
+        page = 200
+        for index in range(len(self.clients)):
+            client = self.clients[index]
+            for prefix, to_label in (
+                (b"m/", object_label),
+                (b"p/", policy_label),
+            ):
+                cursor = prefix
+                inclusive = True
+                while True:
+                    try:
+                        keys = client.get_key_range(
+                            start_key=cursor,
+                            end_key=prefix + b"\xff" * 64,
+                            max_returned=page,
+                            start_inclusive=inclusive,
+                        )
+                    except KineticError:
+                        break
+                    for disk_key in keys:
+                        labels.add(
+                            to_label(disk_key[len(prefix):].decode())
+                        )
+                    if len(keys) < page:
+                        break
+                    cursor = keys[-1]
+                    inclusive = False
+        return sorted(labels)
+
+    def _read_verified(
+        self,
+        object_key: str,
+        disk_key: bytes,
+        aad: bytes,
+        label: str,
+        kind: str,
+    ) -> bytes | None:
+        """Read one metadata record, verified against the pinned root.
+
+        The freshness authority proves what digest the record *must*
+        have (or that it is absent — which short-circuits without any
+        drive I/O): the first replica whose plaintext hashes to the
+        pinned leaf wins, so a single reply suffices where the
+        unverified path needs a quorum.  Replicas proving anything else
+        are stale — failed over, re-seeded from the verified copy, and
+        journaled.  A record pinned by an unsettled mutation accepts
+        either side of the pending entry (crash-window availability).
+
+        When every reachable replica is provably stale the read raises
+        :class:`~repro.errors.StaleReplica`: serving would undo an
+        acknowledged write.  All-unreachable raises the drive error,
+        exactly like the unverified path.
+        """
+        expected, allowed = self.freshness.acceptable(label)
+        if expected is None:
+            # Proven absent: the pinned tree has no leaf for this
+            # label, so no replica can legitimately hold a record.
+            return None
+        instrumented = self.telemetry.enabled
+        started = _time.perf_counter() if instrumented else 0.0
+        drive_error: Exception | None = None
+        fallback: bytes | None = None
+        fallback_digest: str | None = None
+        behind: list[int] = []     # stale / missing / corrupt replicas
+        unreachable: list[int] = []
+        definitive_wrong = 0
+        verified: bytes | None = None
+        with self.telemetry.span("kinetic.get", key=object_key):
+            replicas = self._replicas(object_key)
+            self.health.tick()
+            preferred = [i for i in replicas if self.health.allow(i)]
+            last_resort = [i for i in replicas if i not in preferred]
+            for index in preferred + last_resort:
+                try:
+                    blob, _version = self.clients[index].get(disk_key)
+                except (DriveOffline, TransientIOError) as exc:
+                    self.health.record_failure(index)
+                    self._m_replica_failures.labels("offline").inc()
+                    unreachable.append(index)
+                    drive_error = exc
+                    continue
+                except KineticNotFound:
+                    self.health.record_success(index)
+                    self._m_replica_failures.labels("missing").inc()
+                    behind.append(index)
+                    definitive_wrong += 1
+                    continue
+                self.health.record_success(index)
+                try:
+                    plain = self._open(blob, aad)
+                except IntegrityError:
+                    self._m_replica_failures.labels("corrupt").inc()
+                    behind.append(index)
+                    definitive_wrong += 1
+                    continue
+                digest = self.freshness.leaf_digest(plain)
+                if digest == expected:
+                    self.effects.record(DISK_READ, index, len(blob))
+                    if instrumented:
+                        self._m_drive_bytes.labels("read").inc(len(blob))
+                    verified = plain
+                    break
+                if digest in allowed:
+                    # The other side of an unsettled mutation: keep it
+                    # as a fallback but look for the pinned leaf first.
+                    fallback, fallback_digest = plain, digest
+                    continue
+                self._m_replica_failures.labels("stale").inc()
+                self.freshness.reject_stale(label)
+                behind.append(index)
+                definitive_wrong += 1
+        if instrumented:
+            self._h_drive_op.labels("read").observe(
+                _time.perf_counter() - started
+            )
+        if verified is None and fallback is not None:
+            verified = fallback
+            expected = fallback_digest
+        if verified is None:
+            if definitive_wrong:
+                raise StaleReplica(
+                    f"every reachable replica of {object_key!r} is "
+                    f"older than the pinned root (epoch "
+                    f"{self.freshness.epoch})"
+                )
+            raise drive_error or KineticNotFound(object_key)
+        if behind or unreachable:
+            self.journal.mark(kind, object_key, behind + unreachable)
+            sealed = self._seal(verified, aad)
+            for index in behind:
+                try:
+                    self.clients[index].put(disk_key, sealed, force=True)
+                except KineticError:
+                    continue
+                self.effects.record(DISK_WRITE, index, len(sealed))
+                self._m_read_repair.inc()
+        return verified
+
+    def _pinned_write(self, label: str, digest: str | None, write) -> None:
+        """Run one mutation under the write-ahead pin protocol.
+
+        The new leaf is pinned *before* any replica sees the write
+        (prepare), settled once the quorum acknowledged, and reverted
+        — with the pending entry kept, since a minority replica may
+        already hold the new record — when the write failed below
+        quorum.
+        """
+        self.freshness.prepare(label, digest)
+        try:
+            write()
+        except Exception:
+            self.freshness.abort(label)
+            raise
+        self.freshness.settle(label)
 
     # -- health reporting --------------------------------------------------
 
@@ -571,7 +774,22 @@ class ObjectStore:
         copy instead of failing — the operator who relaxed the write
         quorum chose availability — and the key stays journaled until
         anti-entropy can audit it against the recovered fleet.
+
+        With a freshness authority attached the version-number quorum
+        is replaced entirely by proof verification: the record must
+        hash to the Merkle leaf pinned by the sealed monotonic counter
+        (see :meth:`_read_verified`), which a replayed stale replica
+        cannot satisfy no matter what version number it carries.
         """
+        if self._verifying():
+            plain = self._read_verified(
+                key,
+                self.meta_key(key),
+                b"meta:" + key.encode(),
+                object_label(key),
+                KIND_OBJECT,
+            )
+            return None if plain is None else StoredMeta.decode(plain)
         disk_key = self.meta_key(key)
         aad = b"meta:" + key.encode()
         instrumented = self.telemetry.enabled
@@ -650,18 +868,31 @@ class ObjectStore:
         return freshest
 
     def write_meta(self, meta: StoredMeta) -> None:
-        blob = self._seal(meta.encode(), b"meta:" + meta.key.encode())
+        plain = meta.encode()
+        blob = self._seal(plain, b"meta:" + meta.key.encode())
+        if self._verifying():
+            self._pinned_write(
+                object_label(meta.key),
+                record_digest(plain),
+                lambda: self._write_replicas(
+                    meta.key, self.meta_key(meta.key), blob
+                ),
+            )
+            return
         self._write_replicas(meta.key, self.meta_key(meta.key), blob)
 
     # -- object content ------------------------------------------------------------
 
-    def read_value(self, key: str, version: int) -> bytes:
+    def read_value(
+        self, key: str, version: int, expect_sha256: str | None = None
+    ) -> bytes:
         slot = self._slot(version)
         aad = b"val:" + key.encode() + b":" + str(slot).encode()
         with self.telemetry.span("store.read_value", key=key,
                                  version=version):
             return self._read_with_failover(
-                key, self.value_key(key, slot), aad=aad
+                key, self.value_key(key, slot), aad=aad,
+                expect_sha256=expect_sha256,
             )
 
     def write_value(self, key: str, version: int, value: bytes) -> None:
@@ -714,6 +945,15 @@ class ObjectStore:
 
     def delete_object(self, meta: StoredMeta) -> None:
         """Remove every version and the metadata record."""
+        if self._verifying():
+            self._pinned_write(
+                object_label(meta.key), None,
+                lambda: self._delete_versions_and_meta(meta),
+            )
+            return
+        self._delete_versions_and_meta(meta)
+
+    def _delete_versions_and_meta(self, meta: StoredMeta) -> None:
         slots_seen = set()
         for version in list(meta.versions):
             slot = self._slot(version)
@@ -799,11 +1039,29 @@ class ObjectStore:
     def write_policy(self, policy_id: str, blob: bytes) -> None:
         aad = b"policy:" + policy_id.encode()
         sealed = self._seal(blob, aad)
+        if self._verifying():
+            self._pinned_write(
+                policy_label(policy_id),
+                record_digest(blob),
+                lambda: self._write_replicas(
+                    policy_id, self.policy_key(policy_id), sealed,
+                    kind=KIND_POLICY,
+                ),
+            )
+            return
         self._write_replicas(
             policy_id, self.policy_key(policy_id), sealed, kind=KIND_POLICY
         )
 
     def read_policy(self, policy_id: str) -> bytes | None:
+        if self._verifying():
+            return self._read_verified(
+                policy_id,
+                self.policy_key(policy_id),
+                b"policy:" + policy_id.encode(),
+                policy_label(policy_id),
+                KIND_POLICY,
+            )
         try:
             return self._read_with_failover(
                 policy_id,
@@ -855,7 +1113,15 @@ class StoreBackedView(ObjectView):
             cached = self._cache.get_object(cache_key)
             if cached is not None:
                 return cached
-        value = self._store.read_value(self.object_id, version)
+        expect = None
+        version_meta = self._meta.versions.get(version)
+        if version_meta is not None and self._store._verifying():
+            # The metadata record came through proof verification, so
+            # its content hash anchors the value read too.
+            expect = version_meta.content_hash
+        value = self._store.read_value(
+            self.object_id, version, expect_sha256=expect
+        )
         if self._cache is not None:
             self._cache.put_object(cache_key, value)
         return value

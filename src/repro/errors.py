@@ -185,6 +185,40 @@ class ResultExpired(PesosError):
 
 
 # --------------------------------------------------------------------------
+# Freshness / rollback protection
+# --------------------------------------------------------------------------
+
+class FreshnessError(PesosError):
+    """Base class for authenticated-freshness violations."""
+
+
+class StaleReplica(FreshnessError):
+    """Every reachable replica served data older than the pinned root.
+
+    The record decrypted and authenticated perfectly — it is a real
+    blob this controller once wrote — but its digest does not match
+    the Merkle leaf pinned by the sealed monotonic counter, so serving
+    it would silently undo an acknowledged write.  Retryable: the
+    fresh replica may only be transiently unreachable.
+    """
+
+    status = 503
+    retry_after = 1.0
+
+
+class ForkDetected(FreshnessError):
+    """Drive or sealed state proves a root the counter never pinned.
+
+    Raised at controller startup when fork detection fails (the cloud
+    restored an old fleet snapshot, or replayed a stale sealed pin),
+    and on every subsequent request while the controller refuses to
+    serve.  Not retryable without operator intervention.
+    """
+
+    status = 503
+
+
+# --------------------------------------------------------------------------
 # Admission control / overload protection
 # --------------------------------------------------------------------------
 

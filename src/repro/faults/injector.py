@@ -27,7 +27,13 @@ from dataclasses import dataclass, field
 
 from repro.errors import DriveOffline, TransientIOError
 from repro.faults.schedule import DriveFaultSpec, FaultSchedule
+from repro.kinetic.drive import _Entry
 from repro.kinetic.protocol import Message, MessageType
+
+
+def _stale_entry(value: bytes, version: bytes) -> _Entry:
+    """A fresh at-rest entry holding replayed (stale) drive state."""
+    return _Entry(value=value, version=version)
 
 
 @dataclass
@@ -40,6 +46,9 @@ class FaultStats:
     slow_ops: int = 0
     slow_seconds: float = 0.0
     transitions: int = 0
+    rollbacks: int = 0
+    forks: int = 0
+    replays: int = 0
 
     def as_tuple(self) -> tuple:
         return (
@@ -49,6 +58,9 @@ class FaultStats:
             self.slow_ops,
             round(self.slow_seconds, 9),
             self.transitions,
+            self.rollbacks,
+            self.forks,
+            self.replays,
         )
 
 
@@ -63,6 +75,15 @@ class FaultyDrive:
         self._injector = injector
         self._local_op = 0
         self._scheduled_online = True
+        #: Rollback/fork machinery: one full-state snapshot plus
+        #: one-shot flags for the spec's capture/rollback/fork marks.
+        self._snapshot = None
+        self._captured = False
+        self._rolled_back = False
+        self._forked = False
+        #: Previous values of overwritten keys, oldest first (capped),
+        #: for replay-of-stale-replica faults.
+        self._retained: dict = {}
 
     @property
     def schedule(self) -> FaultSchedule:
@@ -79,6 +100,8 @@ class FaultyDrive:
             raise DriveOffline(f"drive {self._inner.drive_id} is offline")
         local_op = self._local_op
         self._local_op += 1
+        if request.message_type == MessageType.PUT:
+            self._retain(request.body.get("key"))
         decision = self._schedule.decide(local_op)
         if decision.clean:
             return self._inner.handle(request)
@@ -90,11 +113,94 @@ class FaultyDrive:
                 f"injected connection drop on {self._inner.drive_id} "
                 f"(local op {local_op})"
             )
-        response = self._inner.handle(request)
+        if decision.replay and request.message_type == MessageType.GET:
+            response = self._serve_replayed(request)
+        else:
+            response = self._inner.handle(request)
         if decision.slow_seconds:
             injector.stats.slow_ops += 1
             injector.stats.slow_seconds += decision.slow_seconds
         return response
+
+    # -- rollback / fork / replay machinery ------------------------------
+
+    #: Stale copies retained per overwritten key (the adversary's
+    #: replay buffer does not need to be deep to be dangerous).
+    RETAIN_DEPTH = 4
+
+    def _retain(self, key) -> None:
+        """Keep the pre-PUT value of ``key`` for later replay faults."""
+        if key is None:
+            return
+        entry = self._inner._entries.get(key)
+        if entry is None:
+            return
+        history = self._retained.setdefault(key, [])
+        history.append((entry.value, entry.version))
+        del history[: -self.RETAIN_DEPTH]
+
+    def _serve_replayed(self, request: Message) -> Message:
+        """Answer a GET from the oldest retained copy of the key.
+
+        The stale entry is swapped in only for the duration of the
+        inner call, so the drive HMAC-signs a perfectly-formed response
+        carrying data the controller overwrote long ago — precisely
+        what version numbers cannot detect and Merkle proofs can.
+        """
+        key = request.body.get("key")
+        history = self._retained.get(key) if key is not None else None
+        if not history:
+            return self._inner.handle(request)
+        entries = self._inner._entries
+        current = entries.get(key)
+        stale_value, stale_version = history[0]
+        entries[key] = _stale_entry(stale_value, stale_version)
+        try:
+            response = self._inner.handle(request)
+        finally:
+            if current is not None:
+                entries[key] = current
+            else:
+                del entries[key]
+        self._injector.stats.replays += 1
+        return response
+
+    def capture_snapshot(self) -> None:
+        """Snapshot the drive's full state for a later restore."""
+        inner = self._inner
+        self._snapshot = (
+            {
+                key: (entry.value, entry.version)
+                for key, entry in inner._entries.items()
+            },
+            list(inner._sorted_keys),
+            inner._used_bytes,
+        )
+        self._captured = True
+
+    def restore_snapshot(self, kind: str = "rollback") -> bool:
+        """Silently reset the drive to the captured snapshot.
+
+        ``kind`` is ``rollback`` (in-place rollback attack) or
+        ``fork`` (old fleet image restored across a controller
+        restart); it only affects which stat the restore counts
+        toward.  Returns False when nothing was ever captured.
+        """
+        if self._snapshot is None:
+            return False
+        entries, sorted_keys, used_bytes = self._snapshot
+        inner = self._inner
+        inner._entries = {
+            key: _stale_entry(value, version)
+            for key, (value, version) in entries.items()
+        }
+        inner._sorted_keys = list(sorted_keys)
+        inner._used_bytes = used_bytes
+        if kind == "fork":
+            self._injector.stats.forks += 1
+        else:
+            self._injector.stats.rollbacks += 1
+        return True
 
     def _flip_bit(self, key, local_op: int) -> None:
         """Bit-flip the at-rest value so the drive serves it corrupt.
@@ -113,6 +219,27 @@ class FaultyDrive:
         self._injector.stats.corruptions += 1
 
     def _apply_schedule(self, global_op: int) -> None:
+        spec = self._schedule.spec
+        if (
+            spec.capture_at is not None
+            and global_op >= spec.capture_at
+            and not self._captured
+        ):
+            self.capture_snapshot()
+        if (
+            spec.rollback_at is not None
+            and global_op >= spec.rollback_at
+            and not self._rolled_back
+        ):
+            self._rolled_back = True
+            self.restore_snapshot("rollback")
+        if (
+            spec.fork_at is not None
+            and global_op >= spec.fork_at
+            and not self._forked
+        ):
+            self._forked = True
+            self.restore_snapshot("fork")
         wanted = self._schedule.scheduled_online(global_op)
         if wanted == self._scheduled_online:
             return
@@ -181,6 +308,13 @@ class FaultInjector:
         wrapped = self._drives[drive] if isinstance(drive, int) else drive
         schedule = FaultSchedule(wrapped._inner.drive_id, spec, self.seed)
         wrapped._schedule = schedule
+        # A new plan re-arms the one-shot rollback/fork marks (the old
+        # snapshot is kept: phase-based tests capture in one phase and
+        # restore in the next).
+        wrapped._rolled_back = False
+        wrapped._forked = False
+        if spec.capture_at is None or spec.capture_at > self.global_op:
+            wrapped._captured = False
         wrapped._apply_schedule(self.global_op)
         return schedule
 

@@ -30,10 +30,15 @@ class FaultDecision:
     drop: bool = False
     corrupt: bool = False
     slow_seconds: float = 0.0
+    #: Serve this GET from a stale retained copy of the key (replay of
+    #: an old replica state) — the rollback-protection adversary.
+    replay: bool = False
 
     @property
     def clean(self) -> bool:
-        return not (self.drop or self.corrupt or self.slow_seconds)
+        return not (
+            self.drop or self.corrupt or self.slow_seconds or self.replay
+        )
 
 
 #: Shared no-fault decision (the common case allocates nothing).
@@ -65,6 +70,20 @@ class DriveFaultSpec:
     #: Probability an op is slow, and the virtual delay it then costs.
     slow_rate: float = 0.0
     slow_seconds: float = 0.01
+    #: Rollback-protection adversary (see docs/freshness.md).  At
+    #: ``capture_at`` (global op index) the drive's full state is
+    #: snapshotted; at ``rollback_at`` the drive silently restores the
+    #: snapshot in place — a rollback-to-old-version attack the drive
+    #: still HMAC-signs perfectly.  ``fork_at`` is the same restore
+    #: counted as a fork: tests pair it with a controller restart to
+    #: model the cloud restoring an old fleet image.
+    capture_at: int | None = None
+    rollback_at: int | None = None
+    fork_at: int | None = None
+    #: Probability a GET is answered from a stale retained copy of its
+    #: key (replay-of-stale-replica).  Drawn *after* the drop/corrupt/
+    #: slow draws so existing same-seed timelines are unchanged.
+    replay_rate: float = 0.0
 
     def windows(self) -> list[tuple[float, float]]:
         """All offline spells, crash included, as (start, end) spans."""
@@ -85,6 +104,7 @@ class FaultSchedule:
         self._windows = spec.windows()
         self._randomized = bool(
             spec.drop_rate or spec.corrupt_rate or spec.slow_rate
+            or spec.replay_rate
         )
 
     def scheduled_online(self, global_op: int) -> bool:
@@ -108,15 +128,21 @@ class FaultSchedule:
         )
         corrupt = False
         slow = 0.0
+        replay = False
         if self._randomized:
             rng = self._rng(local_op)
             drop = drop or rng.random() < spec.drop_rate
             corrupt = rng.random() < spec.corrupt_rate
             if rng.random() < spec.slow_rate:
                 slow = spec.slow_seconds
-        if not (drop or corrupt or slow):
+            # Drawn last: earlier draws (and therefore every pre-replay
+            # same-seed timeline) are unchanged by a replay_rate.
+            replay = rng.random() < spec.replay_rate
+        if not (drop or corrupt or slow or replay):
             return NO_FAULT
-        return FaultDecision(drop=drop, corrupt=corrupt, slow_seconds=slow)
+        return FaultDecision(
+            drop=drop, corrupt=corrupt, slow_seconds=slow, replay=replay
+        )
 
     def corruption_bit(self, local_op: int, nbytes: int) -> int:
         """Deterministic bit position to flip in an ``nbytes`` blob."""
@@ -137,4 +163,6 @@ class FaultSchedule:
                 events.append((op, "corrupt"))
             if decision.slow_seconds:
                 events.append((op, "slow", round(decision.slow_seconds, 9)))
+            if decision.replay:
+                events.append((op, "replay"))
         return events

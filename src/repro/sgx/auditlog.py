@@ -38,10 +38,14 @@ from typing import Iterable
 GENESIS = hashlib.sha256(b"pesos-audit-genesis").hexdigest()
 
 #: Decision vocabulary (``allow``/``deny`` from the policy interpreter,
-#: ``shed`` from admission control refusing to evaluate at all).
+#: ``shed`` from admission control refusing to evaluate at all,
+#: ``pin`` from the freshness layer advancing its sealed root, and
+#: ``fork`` when startup fork detection refuses to serve).
 DECISION_ALLOW = "allow"
 DECISION_DENY = "deny"
 DECISION_SHED = "shed"
+DECISION_PIN = "pin"
+DECISION_FORK = "fork"
 
 
 @dataclass

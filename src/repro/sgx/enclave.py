@@ -49,6 +49,37 @@ class EnclaveBinary:
 
 
 @dataclass
+class MonotonicCounter:
+    """A tamper-proof, strictly-increasing platform counter.
+
+    Stand-in for the SGX platform-service monotonic counters (or the
+    replay-protected NVRAM slot a lightweight-collective-memory
+    deployment would use): the value survives enclave restarts and the
+    host cannot wind it back.  The freshness layer increments it on
+    every root pin and seals the current value next to the root hash,
+    so a replayed sealed blob — correctly sealed, but stale — is
+    detected by a counter mismatch at startup.
+
+    The object models the *hardware* resource: tests pass the same
+    instance across simulated controller restarts, exactly as the same
+    physical NVRAM cell would persist.
+    """
+
+    value: int = 0
+    #: Total increments ever issued (monotonicity audit for tests).
+    bumps: int = 0
+
+    def increment(self) -> int:
+        """Advance and return the new value (never reorders, never wraps)."""
+        self.value += 1
+        self.bumps += 1
+        return self.value
+
+    def read(self) -> int:
+        return self.value
+
+
+@dataclass
 class Enclave:
     """A running enclave instance on one platform.
 

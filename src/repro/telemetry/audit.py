@@ -22,6 +22,8 @@ from __future__ import annotations
 from repro.sgx.auditlog import (
     DECISION_ALLOW,
     DECISION_DENY,
+    DECISION_FORK,
+    DECISION_PIN,
     DECISION_SHED,
     AuditLog,
 )
@@ -91,6 +93,39 @@ class PolicyAuditor:
             detail=reason,
         )
 
+    def record_pin(
+        self, vnow: float, epoch: int, root: str, event: str
+    ) -> None:
+        """One freshness root pin (counter advance), hash-chained.
+
+        The pinned root rides in ``policy_hash`` (it is a digest of
+        enclave-attested state, same trust class) and the epoch in the
+        key column, so the chain answers "what root was pinned at
+        counter value N?" tamper-evidently.
+        """
+        self._count(DECISION_PIN)
+        self.log.append(
+            vnow=vnow,
+            session="",
+            operation="pin",
+            key=f"epoch:{epoch}",
+            decision=DECISION_PIN,
+            policy_hash=root,
+            detail=event,
+        )
+
+    def record_fork(self, vnow: float, reason: str) -> None:
+        """Startup fork detection refused to serve."""
+        self._count(DECISION_FORK)
+        self.log.append(
+            vnow=vnow,
+            session="",
+            operation="bootstrap",
+            key="",
+            decision=DECISION_FORK,
+            detail=reason,
+        )
+
     def _count(self, decision: str) -> None:
         self.decisions_by_kind[decision] = (
             self.decisions_by_kind.get(decision, 0) + 1
@@ -153,6 +188,8 @@ class PolicyAuditor:
 __all__ = [
     "DECISION_ALLOW",
     "DECISION_DENY",
+    "DECISION_FORK",
+    "DECISION_PIN",
     "DECISION_SHED",
     "PolicyAuditor",
 ]

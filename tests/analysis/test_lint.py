@@ -176,6 +176,40 @@ def test_defaulted_clock_pragma_allowed():
     assert rules(source) == []
 
 
+# -- core-unverified-meta-read -----------------------------------------------
+
+def test_raw_client_read_in_core_flagged():
+    source = "blob, version = self.clients[index].get(disk_key)\n"
+    assert rules(source) == ["core-unverified-meta-read"]
+
+
+def test_raw_range_scan_in_core_flagged():
+    source = "keys = client.get_key_range(start, end)\n"
+    assert rules(source) == ["core-unverified-meta-read"]
+
+
+def test_unverified_read_pragma_allowed():
+    source = (
+        "blob, v = self.store.clients[i].get(key)"
+        "  # pesos: allow[core-unverified-meta-read]\n"
+    )
+    assert rules(source) == []
+
+
+def test_store_implements_verification_and_is_exempt():
+    source = "blob, version = self.clients[index].get(disk_key)\n"
+    assert lint_source(source, "core/store.py") == []
+
+
+def test_raw_read_outside_core_is_fine():
+    source = "blob, version = self.clients[index].get(disk_key)\n"
+    assert lint_source(source, "bench/harness.py") == []
+
+
+def test_non_client_get_is_not_a_drive_read():
+    assert rules("value = mapping.get(key)\n") == []
+
+
 # -- the repository itself ---------------------------------------------------
 
 def test_repo_source_tree_is_clean():

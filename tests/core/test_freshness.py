@@ -1,0 +1,482 @@
+"""Unit tests for rollback/fork protection (:mod:`repro.core.freshness`).
+
+Covers the Merkle layer (membership/absence proofs, tamper rejection),
+the epoch-keyed proof cache, the write-ahead pin protocol, counter
+sealing across enclave restarts, every bootstrap fork-detection path,
+and the operator surfaces (health, metrics, audit chain).
+"""
+
+import pytest
+
+from repro.core.controller import ControllerConfig, PesosController
+from repro.core.freshness import (
+    FreshnessAuthority,
+    FreshnessEnvironment,
+    FreshnessProof,
+    MerkleTree,
+    ProofCache,
+    object_label,
+    policy_label,
+    record_digest,
+)
+from repro.core.store import ObjectStore, StoredMeta
+from repro.errors import ForkDetected, FreshnessError, StaleReplica
+from repro.kinetic.cluster import DriveCluster
+from repro.kinetic.drive import KineticDrive
+from repro.telemetry import Telemetry, render_prometheus
+
+FP = "fp-freshness"
+
+OPEN_POLICY = "read :- sessionKeyIs(K)\nupdate :- sessionKeyIs(K)"
+
+
+def _store(num_drives=3, replication=2, **kwargs):
+    cluster = DriveCluster(num_drives=num_drives)
+    clients = cluster.connect_all(
+        KineticDrive.DEMO_IDENTITY, KineticDrive.DEMO_KEY
+    )
+    store = ObjectStore(
+        clients, b"f" * 32, replication_factor=replication, **kwargs
+    )
+    return store, cluster
+
+
+def _verified_store(env=None, **kwargs):
+    """A store with a bootstrapped freshness authority attached."""
+    store, cluster = _store(**kwargs)
+    env = env or FreshnessEnvironment.ephemeral()
+    authority = FreshnessAuthority(env)
+    authority.bootstrap(store)
+    assert not authority.forked
+    store.freshness = authority
+    return store, cluster, authority, env
+
+
+def _fleet_state(cluster):
+    """Deep-copy every drive's at-rest state (an adversary snapshot)."""
+    snapshot = []
+    for drive in cluster.drives:
+        snapshot.append(
+            (
+                {
+                    key: (entry.value, entry.version)
+                    for key, entry in drive._entries.items()
+                },
+                list(drive._sorted_keys),
+                drive._used_bytes,
+            )
+        )
+    return snapshot
+
+
+def _restore_fleet(cluster, snapshot):
+    """Silently roll every drive back to a captured state."""
+    from repro.kinetic.drive import _Entry
+
+    for drive, (entries, sorted_keys, used_bytes) in zip(
+        cluster.drives, snapshot
+    ):
+        drive._entries = {
+            key: _Entry(value=value, version=version)
+            for key, (value, version) in entries.items()
+        }
+        drive._sorted_keys = list(sorted_keys)
+        drive._used_bytes = used_bytes
+
+
+# -- Merkle tree proofs ----------------------------------------------------
+
+
+def test_membership_proof_roundtrip():
+    tree = MerkleTree()
+    digests = {}
+    for index in range(40):
+        label = object_label(f"key-{index}")
+        digest = record_digest(f"record-{index}".encode())
+        tree.set(label, digest)
+        digests[label] = digest
+    for label, digest in digests.items():
+        proof = tree.prove(label)
+        assert tree.verify(tree.root, proof) == digest
+
+
+def test_absence_proof_roundtrip():
+    tree = MerkleTree()
+    for index in range(10):
+        tree.set(object_label(f"key-{index}"), record_digest(b"x"))
+    proof = tree.prove(object_label("never-written"))
+    assert tree.verify(tree.root, proof) is None
+
+
+def test_tampered_proof_is_rejected():
+    tree = MerkleTree()
+    tree.set(object_label("a"), record_digest(b"one"))
+    tree.set(object_label("b"), record_digest(b"two"))
+    proof = tree.prove(object_label("a"))
+    forged = FreshnessProof(
+        label=proof.label,
+        slot=proof.slot,
+        items=tuple(
+            (name, record_digest(b"EVIL")) for name, _d in proof.items
+        ),
+        siblings=proof.siblings,
+    )
+    with pytest.raises(FreshnessError):
+        tree.verify(tree.root, forged)
+
+
+def test_proof_for_wrong_slot_is_rejected():
+    tree = MerkleTree()
+    tree.set(object_label("a"), record_digest(b"one"))
+    proof = tree.prove(object_label("a"))
+    mislabeled = FreshnessProof(
+        label=object_label("b"),  # slot no longer matches the label
+        slot=proof.slot,
+        items=proof.items,
+        siblings=proof.siblings,
+    )
+    with pytest.raises(FreshnessError):
+        tree.verify(tree.root, mislabeled)
+
+
+def test_delete_restores_previous_root():
+    tree = MerkleTree()
+    tree.set(object_label("a"), record_digest(b"one"))
+    root_before = tree.root
+    tree.set(object_label("b"), record_digest(b"two"))
+    assert tree.root != root_before
+    tree.set(object_label("b"), None)
+    assert tree.root == root_before
+    assert len(tree) == 1
+
+
+# -- proof cache -----------------------------------------------------------
+
+
+def test_proof_cache_is_invalidated_by_epoch_advance():
+    cache = ProofCache()
+    cache.put(7, "o/key", "digest")
+    assert cache.get(7, "o/key") == (True, "digest")
+    # A pin advance bumps the epoch; the old entry must not serve.
+    assert cache.get(8, "o/key") == (False, None)
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_proof_cache_overflow_clears_deterministically():
+    cache = ProofCache(capacity=2)
+    cache.put(1, "a", "d1")
+    cache.put(1, "b", "d2")
+    cache.put(1, "c", "d3")  # over capacity: whole map dropped first
+    assert len(cache) == 1
+    assert cache.get(1, "a") == (False, None)
+    assert cache.get(1, "c") == (True, "d3")
+
+
+def test_put_policy_invalidates_warm_proof_cache():
+    store, _cluster, authority, _env = _verified_store()
+    meta = StoredMeta(key="obj")
+    store.store_version(meta, b"payload", "")
+    store.read_meta("obj")  # miss: verifies one proof, warms the cache
+    hits_before = authority.cache.hits
+    store.read_meta("obj")
+    assert authority.cache.hits == hits_before + 1
+    # A policy write pins a new root (epoch advance): every cached
+    # proof — object entries included — is stale and must re-verify.
+    store.write_policy("pol-x", b"policy-blob")
+    misses_before = authority.cache.misses
+    store.read_meta("obj")
+    assert authority.cache.misses == misses_before + 1
+
+
+# -- pin protocol ----------------------------------------------------------
+
+
+def test_prepare_settle_advances_counter_twice():
+    _store_, _cluster, authority, env = _verified_store()
+    epoch0 = authority.epoch
+    label = object_label("obj")
+    authority.prepare(label, "d" * 64)
+    assert env.counter.read() == epoch0 + 1
+    assert label in authority.pending
+    authority.settle(label)
+    assert env.counter.read() == epoch0 + 2
+    assert not authority.pending
+    assert authority.tree.get(label) == "d" * 64
+
+
+def test_abort_reverts_leaf_but_keeps_pending():
+    _store_, _cluster, authority, _env = _verified_store()
+    label = object_label("obj")
+    authority.prepare(label, "a" * 64)
+    authority.settle(label)
+    root_before = authority.root
+    authority.prepare(label, "b" * 64)
+    authority.abort(label)
+    # The leaf is reverted (the quorum never took the write)...
+    assert authority.tree.get(label) == "a" * 64
+    assert authority.root == root_before
+    # ...but the pending entry survives: a minority replica may hold
+    # the new record, and reads must accept either side.
+    expected, allowed = authority.acceptable(label)
+    assert expected == "a" * 64
+    assert allowed == {"a" * 64, "b" * 64}
+
+
+def test_every_pin_seals_fresh_counter_state():
+    _store_, _cluster, authority, env = _verified_store()
+    saves_before = env.pin_store.saves
+    authority.prepare(object_label("k"), "c" * 64)
+    authority.settle(object_label("k"))
+    assert env.pin_store.saves == saves_before + 2
+    assert authority.seals == authority.pins
+
+
+# -- bootstrap and fork detection ------------------------------------------
+
+
+def test_counter_sealing_survives_enclave_restart():
+    store, _cluster, authority, env = _verified_store()
+    meta = StoredMeta(key="obj")
+    store.store_version(meta, b"v1", "")
+    store.write_policy("pol-1", b"blob")
+    root = authority.root
+    # Same trusted hardware, new controller process: the sealed pin
+    # unseals, matches the hardware counter, and the rebuilt tree
+    # reproduces the pinned root.
+    store.freshness = None
+    restarted = FreshnessAuthority(env)
+    restarted.bootstrap(store)
+    assert not restarted.forked and restarted.active
+    assert restarted.root == root
+    assert restarted.epoch == env.counter.read()
+
+
+def test_trust_on_first_use_adopts_existing_fleet():
+    store, _cluster = _store()
+    meta = StoredMeta(key="pre-existing")
+    store.store_version(meta, b"v1", "")
+    store.write_policy("pol-1", b"blob")
+    authority = FreshnessAuthority(FreshnessEnvironment.ephemeral())
+    authority.bootstrap(store)
+    assert not authority.forked and authority.active
+    assert len(authority.tree) == 2
+    assert authority.tree.get(object_label("pre-existing")) is not None
+    assert authority.tree.get(policy_label("pol-1")) is not None
+
+
+def test_destroyed_pin_storage_is_a_fork():
+    store, _cluster, _authority, env = _verified_store()
+    store.store_version(StoredMeta(key="obj"), b"v1", "")
+    env.pin_store.blob = None  # host deleted the sealed state
+    store.freshness = None
+    restarted = FreshnessAuthority(env)
+    restarted.bootstrap(store)
+    assert restarted.forked
+    assert "counter" in restarted.fork_reason
+
+
+def test_replayed_stale_pin_blob_is_a_fork():
+    store, _cluster, _authority, env = _verified_store()
+    store.store_version(StoredMeta(key="obj"), b"v1", "")
+    stale_blob = env.pin_store.blob
+    store.store_version(StoredMeta(key="obj2"), b"v2", "")
+    env.pin_store.blob = stale_blob  # host replayed an old seal
+    store.freshness = None
+    restarted = FreshnessAuthority(env)
+    restarted.bootstrap(store)
+    assert restarted.forked
+    assert "stale sealed" in restarted.fork_reason
+
+
+def test_foreign_seal_is_a_fork():
+    store, _cluster, _authority, env = _verified_store()
+    env.pin_store.blob = b"not-a-seal-at-all"
+    store.freshness = None
+    restarted = FreshnessAuthority(env)
+    restarted.bootstrap(store)
+    assert restarted.forked
+    assert "unseal" in restarted.fork_reason
+
+
+def test_rolled_back_fleet_is_a_fork():
+    store, cluster, _authority, env = _verified_store()
+    store.store_version(StoredMeta(key="obj"), b"v1", "")
+    old_fleet = _fleet_state(cluster)
+    store.store_version(StoredMeta(key="obj"), b"v2", "")
+    store.write_policy("pol-1", b"blob")
+    _restore_fleet(cluster, old_fleet)  # cloud restored an old image
+    store.freshness = None
+    restarted = FreshnessAuthority(env)
+    restarted.bootstrap(store)
+    assert restarted.forked
+    assert "never pinned" in restarted.fork_reason
+
+
+def test_crashed_prepare_resolves_without_fork():
+    """A pin whose drive write never landed is not a fork.
+
+    The pending journal sealed with the pin lets bootstrap prove the
+    divergence is exactly the unsettled mutation, adopt what the
+    drives actually hold, and re-pin.
+    """
+    store, _cluster, authority, env = _verified_store()
+    store.store_version(StoredMeta(key="obj"), b"v1", "")
+    # Simulate a crash between prepare and the drive write: the tree
+    # and seal carry the new leaf, the fleet still holds the old one.
+    authority.prepare(object_label("obj2"), "e" * 64)
+    store.freshness = None
+    restarted = FreshnessAuthority(env)
+    restarted.bootstrap(store)
+    assert not restarted.forked and restarted.active
+    # The phantom label was adopted as the drives prove it: absent.
+    assert restarted.tree.get(object_label("obj2")) is None
+
+
+# -- verified reads --------------------------------------------------------
+
+
+def test_proven_absence_answers_without_drive_io():
+    store, _cluster, _authority, _env = _verified_store()
+    store.store_version(StoredMeta(key="exists"), b"v", "")
+    sent_before = [client.requests_sent for client in store.clients]
+    assert store.read_meta("never-written") is None
+    assert [c.requests_sent for c in store.clients] == sent_before
+
+
+def test_uniformly_stale_replicas_raise_stale_replica():
+    store, cluster, authority, _env = _verified_store(replication=3)
+    meta = StoredMeta(key="obj")
+    store.store_version(meta, b"v1", "")
+    old_fleet = _fleet_state(cluster)
+    store.store_version(meta, b"v2", "")
+    _restore_fleet(cluster, old_fleet)  # every replica rolled back
+    with pytest.raises(StaleReplica):
+        store.read_meta("obj")
+    assert authority.stale_rejected >= 1
+
+
+def test_minority_stale_replica_is_outvoted_and_reseeded():
+    store, cluster, authority, _env = _verified_store(replication=3)
+    meta = StoredMeta(key="obj")
+    store.store_version(meta, b"v1", "")
+    old_fleet = _fleet_state(cluster)
+    store.store_version(meta, b"v2", "")
+    _restore_fleet(cluster, old_fleet[:1])  # only drive 0 rolls back
+    read = store.read_meta("obj")
+    assert read is not None
+    assert read.current_version == meta.current_version
+    # The stale replica was re-seeded inline: a scrub is clean and a
+    # second read hits no stale copy.
+    rejected = authority.stale_rejected
+    assert store.read_meta("obj").current_version == meta.current_version
+    assert authority.stale_rejected == rejected
+
+
+# -- anti-entropy ----------------------------------------------------------
+
+
+def test_policy_repair_refuses_content_address_mismatch():
+    from repro.core.antientropy import KIND_POLICY, AntiEntropyRepairer
+    from repro.policy.compiler import compile_source
+
+    store, _cluster = _store()
+    blob = compile_source(OPEN_POLICY).to_bytes()
+    # A valid compiled policy stored under a *different* id: exactly
+    # what a rollback adversary would feed the repairer.
+    store.write_policy("wrong-id", blob)
+    store.journal.mark(KIND_POLICY, "wrong-id")
+    repairer = AntiEntropyRepairer(store)
+    report = repairer.run_once()
+    assert "wrong-id" in report["pending"]
+    assert (KIND_POLICY, "wrong-id") in store.journal
+
+
+# -- operator surfaces -----------------------------------------------------
+
+
+def _controller(env, telemetry=None, **overrides):
+    cluster = DriveCluster(num_drives=3)
+    clients = cluster.connect_all(
+        KineticDrive.DEMO_IDENTITY, KineticDrive.DEMO_KEY
+    )
+    controller = PesosController(
+        clients,
+        storage_key=b"c" * 32,
+        config=ControllerConfig(**overrides),
+        telemetry=telemetry,
+        freshness_env=env,
+    )
+    return controller, cluster
+
+
+def test_health_and_metrics_expose_freshness_state():
+    telemetry = Telemetry()
+    env = FreshnessEnvironment.ephemeral()
+    controller, _cluster = _controller(env, telemetry=telemetry)
+    assert controller.put(FP, "obj", b"value").ok
+    assert controller.get(FP, "obj").ok
+    report = controller.health()
+    block = report["freshness"]
+    assert block["active"] and not block["forked"]
+    assert block["epoch"] == env.counter.read() > 0
+    assert block["proof_cache"]["hits"] + block["proof_cache"]["misses"] > 0
+    text = render_prometheus(telemetry.registry)
+    assert "pesos_freshness_pins_total" in text
+    assert 'pesos_freshness_proofs_total{outcome="verified"}' in text
+    assert "pesos_fork_detected 0" in text
+
+
+def test_forked_controller_refuses_requests_and_goes_critical():
+    env = FreshnessEnvironment.ephemeral()
+    controller, cluster = _controller(env)
+    assert controller.put(FP, "obj", b"value").ok
+    env.pin_store.blob = None  # destroy the sealed pin across restart
+    telemetry = Telemetry()
+    restarted = PesosController(
+        cluster.connect_all(
+            KineticDrive.DEMO_IDENTITY, KineticDrive.DEMO_KEY
+        ),
+        storage_key=b"c" * 32,
+        config=ControllerConfig(),
+        telemetry=telemetry,
+        freshness_env=env,
+    )
+    assert restarted.freshness.forked
+    response = restarted.get(FP, "obj")
+    assert response.status == 503
+    assert not response.ok
+    report = restarted.health()
+    assert report["status"] == "critical"
+    assert "pesos_fork_detected 1" in render_prometheus(telemetry.registry)
+
+
+def test_pin_events_are_hash_chained_into_the_audit_log():
+    env = FreshnessEnvironment.ephemeral()
+    controller, _cluster = _controller(env, audit_log_size=4096)
+    assert controller.put(FP, "obj", b"value").ok
+    assert controller.delete(FP, "obj").ok
+    records = controller.auditor.log.tail(limit=256)
+    pins = [record for record in records if record.operation == "pin"]
+    assert len(pins) == controller.freshness.pins
+    assert pins[-1].key == f"epoch:{env.counter.read()}"
+    assert pins[-1].policy_hash == controller.freshness.root
+    assert controller.auditor.verify()["ok"]
+
+
+def test_fork_event_is_audited():
+    env = FreshnessEnvironment.ephemeral()
+    controller, cluster = _controller(env, audit_log_size=4096)
+    assert controller.put(FP, "obj", b"value").ok
+    env.pin_store.blob = None
+    restarted = PesosController(
+        cluster.connect_all(
+            KineticDrive.DEMO_IDENTITY, KineticDrive.DEMO_KEY
+        ),
+        storage_key=b"c" * 32,
+        config=ControllerConfig(audit_log_size=4096),
+        freshness_env=env,
+    )
+    records = restarted.auditor.log.tail(limit=16)
+    forks = [record for record in records if record.decision == "fork"]
+    assert forks and "counter" in forks[-1].detail
+    assert restarted.auditor.verify()["ok"]

@@ -38,6 +38,7 @@ def chaos_stack(
     seed: int = CHAOS_SEED,
     retry_policy: RetryPolicy | None = RetryPolicy(),
     telemetry=None,
+    freshness_env=None,
     **config_overrides,
 ) -> ChaosStack:
     """Build cluster → wrap with faults → connect → controller.
@@ -45,6 +46,10 @@ def chaos_stack(
     ``specs`` follows :meth:`FaultInjector.wrap_cluster`: one spec for
     every drive, or a dict of drive index to spec.  Drives whose
     schedule starts offline are tolerated (degraded bootstrap).
+
+    ``freshness_env`` enables rollback/fork protection; passing the
+    same environment across two chaos_stack calls (against the same
+    cluster) models a controller restart on surviving hardware.
     """
     cluster = DriveCluster(num_drives=num_drives)
     injector = FaultInjector(seed=seed)
@@ -61,6 +66,7 @@ def chaos_stack(
         storage_key=b"chaos-key".ljust(32, b"\0"),
         config=ControllerConfig(**config_overrides),
         telemetry=telemetry,
+        freshness_env=freshness_env,
     )
     return ChaosStack(
         cluster=cluster,
@@ -68,3 +74,36 @@ def chaos_stack(
         clients=clients,
         controller=controller,
     )
+
+
+def restart_controller(
+    stack: ChaosStack,
+    freshness_env=None,
+    telemetry=None,
+    **config_overrides,
+) -> PesosController:
+    """Model a controller restart over the surviving drive fleet.
+
+    A fresh controller (fresh caches, fresh sessions) bootstraps
+    against the stack's existing fault-wrapped cluster.  Passing the
+    original ``freshness_env`` models the trusted hardware (enclave
+    identity, monotonic counter, pin slot) persisting across the
+    restart — which is what makes fork detection possible.
+    """
+    clients = stack.cluster.connect_all(
+        KineticDrive.DEMO_IDENTITY,
+        KineticDrive.DEMO_KEY,
+        allow_degraded=True,
+        retry_policy=RetryPolicy(),
+        telemetry=telemetry,
+    )
+    controller = PesosController(
+        clients,
+        storage_key=b"chaos-key".ljust(32, b"\0"),
+        config=ControllerConfig(**config_overrides),
+        telemetry=telemetry,
+        freshness_env=freshness_env,
+    )
+    stack.clients = clients
+    stack.controller = controller
+    return controller

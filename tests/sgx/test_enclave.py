@@ -72,3 +72,14 @@ def test_memory_footprint_includes_binary():
     base = enclave.memory_footprint()
     assert base == BINARY.enclave_bytes
     assert enclave.memory_footprint(caches_bytes=1024) == base + 1024
+
+
+def test_monotonic_counter_never_goes_backward():
+    from repro.sgx.enclave import MonotonicCounter
+
+    counter = MonotonicCounter()
+    assert counter.read() == 0
+    values = [counter.increment() for _ in range(5)]
+    assert values == [1, 2, 3, 4, 5]
+    assert counter.read() == 5
+    assert counter.bumps == 5
