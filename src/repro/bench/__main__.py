@@ -34,12 +34,13 @@ _RUNNERS = {
     "concurrency": experiments.concurrency_sweep,
     "overload": experiments.overload_sweep,
     "freshness": experiments.freshness_overhead,
+    "workload": experiments.workload_realism,
 }
 
 _DEFAULT = [
     "fig3+4", "fig5", "fig6", "enc", "fig7", "fig8", "fig9", "fig10",
     "abl-syscalls", "abl-caches", "abl-epc", "concurrency", "overload",
-    "freshness",
+    "freshness", "workload",
 ]
 
 

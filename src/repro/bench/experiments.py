@@ -773,3 +773,16 @@ def overload_sweep(config=None) -> FigureResult:
         },
     )
     return figure
+
+
+def workload_realism(seed: int = 17) -> dict:
+    """Arrival-curve scenarios + session-churn soak (BENCH_workload).
+
+    See :mod:`repro.workload.bench`: steady / diurnal / flash-crowd /
+    hot-key-storm arrival curves against the real admission + SLO
+    stack, plus a million-lifecycle session-churn soak.  Records the
+    headline trajectory itself.
+    """
+    from repro.workload.bench import run_workload_bench
+
+    return run_workload_bench(seed=seed)

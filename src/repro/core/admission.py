@@ -65,6 +65,8 @@ DEFAULT_PRIORITIES: dict[str, int] = {
     "add_read": 2,
     "create_tx": 1,
     "get": 1,
+    "scan": 1,
+    "rmw": 2,
     "attest": 1,
     "get_policy": 1,
     "tx_results": 1,

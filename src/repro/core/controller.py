@@ -101,6 +101,10 @@ class ControllerConfig:
     #: chain (:mod:`repro.sgx.auditlog`); None disables auditing and
     #: keeps the policy hot path free of hashing.
     audit_log_size: int | None = None
+    #: Upper bound on records one ``scan`` request may cover; larger
+    #: requests are clamped, never refused (YCSB-E scan lengths are
+    #: client-chosen, the enclave bounds its own work).
+    max_scan_count: int = 1000
     #: Root object/policy metadata in an authenticated dictionary
     #: pinned by a sealed monotonic counter
     #: (:mod:`repro.core.freshness`): reads verify Merkle proofs
@@ -767,6 +771,69 @@ class PesosController:
             version=version,
             policy_id=meta.policy_id,
         )
+
+    def _handle_scan(
+        self, request: Request, session: Session, now: float
+    ) -> Response:
+        """Range scan (YCSB-E): keys >= start key via ``GETKEYRANGE``.
+
+        The store merges the ``m/`` ranges of every reachable drive;
+        each returned object is then resolved through the normal
+        metadata path — proof-verified when freshness is on — and
+        policy-checked for ``read``.  Records whose policy denies the
+        caller are *skipped*, not fatal: one locked-down object must
+        not veto the rest of the range.  The response body is one
+        ``key@version`` line per visible record.
+        """
+        count = min(request.scan_count, self.config.max_scan_count)
+        keys = self.store.scan_keys(request.key, count)
+        lines: list[str] = []
+        denied = 0
+        for key in keys:
+            meta = self._get_meta(key)
+            if meta is None or not meta.exists:
+                # Deleted between the range listing and the meta read.
+                continue
+            if self.config.enforce_policies and meta.policy_id:
+                policy = self._load_policy(meta.policy_id)
+                sub = Request(method="get", key=key)
+                ctx = self._build_context("read", sub, session, meta, now)
+                try:
+                    self._check_policy("read", policy, ctx)
+                except PolicyDenied:
+                    denied += 1
+                    continue
+            lines.append(f"{key}@{meta.current_version}")
+        payload = "\n".join(lines).encode()
+        self.effects.record(COPY, len(payload))
+        return Response(
+            status=200,
+            value=payload,
+            extra={"scanned": len(lines), "denied": denied},
+        )
+
+    def _handle_rmw(
+        self, request: Request, session: Session, now: float
+    ) -> Response:
+        """Read-modify-write (YCSB-F): one atomic read+update cycle.
+
+        Both halves run inside a single request, so the concurrent
+        engine's exclusive per-key lock makes the cycle atomic against
+        overlapping writers (LOCK_MODES maps ``rmw`` to ``"w"``).  The
+        read half enforces the ``read`` policy and reports the version
+        it observed; the write half is a normal policy-checked update
+        of ``request.value``.
+        """
+        sub = Request(
+            method="get",
+            key=request.key,
+            certificates=list(request.certificates),
+            log_key=request.log_key,
+        )
+        current = self._handle_get(sub, session, now)
+        updated = self._handle_put(request, session, now)
+        updated.extra["read_version"] = current.version
+        return updated
 
     def _handle_delete(
         self, request: Request, session: Session, now: float

@@ -59,7 +59,9 @@ from repro.sgx.syscalls import AsyncSyscallInterface
 LOCK_MODES = {
     "put": "w",
     "delete": "w",
+    "rmw": "w",
     "get": "r",
+    "scan": "r",
     "attest": "r",
 }
 

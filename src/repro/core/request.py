@@ -20,6 +20,8 @@ METHODS = frozenset(
     {
         "put",
         "get",
+        "scan",
+        "rmw",
         "delete",
         "put_policy",
         "get_policy",
@@ -54,6 +56,8 @@ class Request:
     txid: str = ""
     operation_id: str = ""
     log_key: str = ""
+    #: Records one range scan covers (``scan`` requests only).
+    scan_count: int = 0
 
     def validate(self) -> None:
         if self.method not in METHODS:
@@ -63,10 +67,13 @@ class Request:
                 f"method {self.method!r} does not support the async interface"
             )
         if self.method in (
-            "put", "get", "delete", "attest", "add_read", "add_write"
+            "put", "get", "scan", "rmw", "delete", "attest",
+            "add_read", "add_write",
         ):
             if not self.key:
                 raise RequestError(f"{self.method} requires a key")
+        if self.method == "scan" and self.scan_count < 1:
+            raise RequestError("scan requires a positive record count")
         if self.method == "put_policy" and not self.value:
             raise RequestError("put_policy requires policy source as value")
         if self.method == "status" and not self.operation_id:
@@ -126,6 +133,7 @@ def parse_http_request(raw: bytes) -> Request:
         return values[0] if values else default
 
     version_text = single("version")
+    count_text = single("count")
     request = Request(
         method=method,
         key=key,
@@ -136,6 +144,7 @@ def parse_http_request(raw: bytes) -> Request:
         txid=single("txid"),
         operation_id=single("op"),
         log_key=unquote(single("log")),
+        scan_count=int(count_text) if count_text else 0,
     )
     request.validate()
     return request
@@ -179,6 +188,14 @@ def render_http_response(response: Response) -> bytes:
             "X-Pesos-Policy-Warnings: "
             + quote(json.dumps(response.extra["warnings"]), safe="")
         )
+    if "scanned" in response.extra:
+        headers.append(f"X-Pesos-Scanned: {response.extra['scanned']}")
+    if "denied" in response.extra:
+        headers.append(f"X-Pesos-Denied: {response.extra['denied']}")
+    if "read_version" in response.extra:
+        headers.append(
+            f"X-Pesos-Read-Version: {response.extra['read_version']}"
+        )
     body = response.value
     headers.append(f"Content-Length: {len(body)}")
     return ("\r\n".join(headers) + "\r\n\r\n").encode() + body
@@ -191,6 +208,8 @@ def build_http_request(request: Request) -> bytes:
         query.append(f"policy={request.policy_id}")
     if request.version is not None:
         query.append(f"version={request.version}")
+    if request.scan_count:
+        query.append(f"count={request.scan_count}")
     if request.asynchronous:
         query.append("async=1")
     if request.txid:
@@ -225,6 +244,12 @@ def parse_http_response(raw: bytes) -> Response:
         extra["warnings"] = json.loads(
             unquote(headers["X-Pesos-Policy-Warnings"])
         )
+    if "X-Pesos-Scanned" in headers:
+        extra["scanned"] = int(headers["X-Pesos-Scanned"])
+    if "X-Pesos-Denied" in headers:
+        extra["denied"] = int(headers["X-Pesos-Denied"])
+    if "X-Pesos-Read-Version" in headers:
+        extra["read_version"] = int(headers["X-Pesos-Read-Version"])
     return Response(
         status=status,
         value=body,

@@ -48,6 +48,25 @@ class Session:
         self.nonce = secrets.token_hex(16)
         return self.nonce
 
+    def footprint(self) -> int:
+        """Deterministic per-session byte accounting.
+
+        Structural, not ``sys.getsizeof``: a fixed base covers the
+        dataclass slots (fingerprint hash, clocks, nonce, counters),
+        plus the variable-size collections — async operation ids,
+        open transaction handles, and the lazily created token bucket.
+        The churn soak asserts this stays bounded across millions of
+        lifecycles, so the formula must be stable across interpreter
+        versions and GC states.
+        """
+        base = 256  # slots: fingerprint, clocks, nonce, counters
+        base += len(self.fingerprint)
+        base += sum(len(op) + 48 for op in self.operations)
+        base += sum(len(tx) + 48 for tx in self.transactions)
+        if self.bucket is not None:
+            base += 96  # TokenBucket: rate, burst, level, stamp
+        return base
+
 
 class SessionManager:
     """Creates, resumes, and expires sessions."""
@@ -116,6 +135,15 @@ class SessionManager:
 
     def memory_in_use(self) -> int:
         return len(self._sessions) * SESSION_SOFT_BYTES
+
+    def footprint_bytes(self) -> int:
+        """Sum of structural per-session footprints (see
+        :meth:`Session.footprint`); the soak harness divides this by
+        the live-session count to bound bytes per user."""
+        return sum(s.footprint() for s in self._sessions.values())
+
+    def live_sessions(self) -> int:
+        return len(self._sessions)
 
     def _evict_idle(self, now: float) -> None:
         if not self._sessions:

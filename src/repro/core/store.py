@@ -513,6 +513,63 @@ class ObjectStore:
                     inclusive = False
         return sorted(labels)
 
+    def scan_keys(self, start_key: str, count: int) -> list[str]:
+        """Object keys >= ``start_key``, merged across the fleet.
+
+        The Kinetic ``GETKEYRANGE`` path for YCSB-E range scans:
+        placement hashes scatter adjacent object keys across drives,
+        so one logical scan is the sorted union of every drive's
+        ``m/`` range, paginated per the drive contract and truncated
+        to ``count`` keys.  Offline drives are skipped — with
+        replication their keys surface from the surviving replicas;
+        without it the scan is best-effort over the reachable fleet
+        (per-key reads still verify, a scan never vouches for
+        freshness itself).
+        """
+        if count < 1:
+            return []
+        cursor_start = b"m/" + start_key.encode()
+        end_key = b"m/" + b"\xff" * 64
+        found: set[str] = set()
+        page = max(count, 16)
+        with self.telemetry.span(
+            "kinetic.getkeyrange", key=start_key, count=count
+        ):
+            self.health.tick()
+            for index in range(len(self.clients)):
+                if not self.health.allow(index):
+                    continue
+                client = self.clients[index]
+                cursor = cursor_start
+                inclusive = True
+                remaining = count
+                while remaining > 0:
+                    try:
+                        keys = client.get_key_range(
+                            start_key=cursor,
+                            end_key=end_key,
+                            max_returned=min(page, remaining),
+                            start_inclusive=inclusive,
+                        )
+                    except (DriveOffline, TransientIOError):
+                        self.health.record_failure(index)
+                        self._m_replica_failures.labels("offline").inc()
+                        break
+                    except KineticError:
+                        break
+                    self.health.record_success(index)
+                    self.effects.record(
+                        DISK_READ, index, sum(len(k) for k in keys)
+                    )
+                    for disk_key in keys:
+                        found.add(disk_key[2:].decode())
+                    if len(keys) < min(page, remaining):
+                        break
+                    cursor = keys[-1]
+                    inclusive = False
+                    remaining -= len(keys)
+        return sorted(found)[:count]
+
     def _read_verified(
         self,
         object_key: str,

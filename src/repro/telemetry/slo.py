@@ -48,8 +48,10 @@ STATES = (STATE_HEALTHY, STATE_BURNING, STATE_EXHAUSTED)
 _METHOD_CLASSES: dict[str, str] = {
     "get": "get/p1",
     "attest": "get/p1",
+    "scan": "scan/p1",
     "put": "put/p2",
     "delete": "put/p2",
+    "rmw": "put/p2",
     "put_policy": "policy/p2",
     "get_policy": "policy/p1",
     "create_tx": "txn/p1",

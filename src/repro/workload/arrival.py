@@ -1,0 +1,164 @@
+"""Arrival-rate curves and the open-loop arrival integrator.
+
+A curve maps virtual time to an instantaneous offered rate (requests
+per virtual second); :func:`generate_arrivals` integrates it into a
+deterministic arrival-time sequence by stepping ``t += 1 / rate(t)``.
+No randomness is involved in *when* requests arrive — jittered
+arrivals would change shed decisions between runs and break the
+byte-reproducibility contract the replay traces carry.  Randomness
+(which key, read vs write) lives in the scenario's seeded RNG.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.ycsb.distributions import ScrambledZipfianGenerator
+
+
+@dataclass(frozen=True)
+class SteadyCurve:
+    """Constant offered rate — the control series."""
+
+    rate_per_second: float
+    name: str = "steady"
+
+    def rate(self, _t: float) -> float:
+        return self.rate_per_second
+
+
+@dataclass(frozen=True)
+class DiurnalCurve:
+    """Sinusoidal day/night breathing around a base rate.
+
+    ``rate(t) = base * (1 + amplitude * sin(2 pi t / period))`` — the
+    classic diurnal shape scaled down to bench horizons.  Amplitude
+    must stay below 1 so the rate never reaches zero (the integrator
+    would stall).
+    """
+
+    base_rate: float
+    amplitude: float = 0.5
+    period: float = 60.0
+    name: str = "diurnal"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ConfigurationError("diurnal amplitude must be in [0, 1)")
+        if self.period <= 0:
+            raise ConfigurationError("diurnal period must be positive")
+
+    def rate(self, t: float) -> float:
+        return self.base_rate * (
+            1.0 + self.amplitude * math.sin(2.0 * math.pi * t / self.period)
+        )
+
+
+@dataclass(frozen=True)
+class FlashCrowdCurve:
+    """Step function: steady baseline, then a viral-link spike.
+
+    Between ``start`` and ``start + duration`` the offered rate jumps
+    to ``peak_rate`` (typically several multiples of capacity), then
+    falls back.  The admission layer's job is to keep goodput through
+    the storm near the steady-state ceiling.
+    """
+
+    base_rate: float
+    peak_rate: float
+    start: float
+    duration: float
+    name: str = "flash"
+
+    def __post_init__(self) -> None:
+        if self.peak_rate < self.base_rate:
+            raise ConfigurationError("flash peak must be >= base rate")
+        if self.duration <= 0:
+            raise ConfigurationError("flash duration must be positive")
+
+    def rate(self, t: float) -> float:
+        if self.start <= t < self.start + self.duration:
+            return self.peak_rate
+        return self.base_rate
+
+    def in_storm(self, t: float) -> bool:
+        return self.start <= t < self.start + self.duration
+
+
+def generate_arrivals(
+    curve,
+    horizon: float,
+    max_events: int | None = None,
+) -> list[float]:
+    """Integrate ``curve`` into arrival times over ``[0, horizon)``.
+
+    Deterministic: same curve, same horizon, same arrivals.  The step
+    is the instantaneous inter-arrival gap ``1 / rate(t)``, clamped so
+    a mis-specified near-zero rate cannot loop forever.
+    """
+    if horizon <= 0:
+        raise ConfigurationError("horizon must be positive")
+    arrivals: list[float] = []
+    t = 0.0
+    while t < horizon:
+        if max_events is not None and len(arrivals) >= max_events:
+            break
+        arrivals.append(t)
+        rate = curve.rate(t)
+        if rate <= 0:
+            raise ConfigurationError(
+                f"curve {getattr(curve, 'name', '?')} rate hit {rate} at t={t}"
+            )
+        t += min(1.0 / rate, horizon)
+    return arrivals
+
+
+class HotKeyStorm:
+    """Key chooser whose zipfian focus tightens during a storm.
+
+    Outside the storm window keys follow the usual scrambled-zipfian
+    popularity spread.  Inside it, a ``hot_fraction`` share of choices
+    collapses onto a tiny hot set (``hot_keys`` distinct keys) — the
+    "everyone opens the same object" shape that stresses per-key locks
+    and the object cache rather than aggregate throughput.
+    """
+
+    def __init__(
+        self,
+        record_count: int,
+        seed: int,
+        storm_start: float,
+        storm_duration: float,
+        hot_keys: int = 4,
+        hot_fraction: float = 0.9,
+    ):
+        if hot_keys < 1 or hot_keys > record_count:
+            raise ConfigurationError("hot_keys must be in [1, record_count]")
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ConfigurationError("hot_fraction must be in [0, 1]")
+        self.record_count = record_count
+        self.storm_start = storm_start
+        self.storm_duration = storm_duration
+        self.hot_fraction = hot_fraction
+        self._rng = random.Random(seed)
+        self._zipf = ScrambledZipfianGenerator(record_count, self._rng)
+        # The hot set is a fixed, seed-determined handful of keys.
+        self._hot = [
+            self._rng.randrange(record_count) for _ in range(hot_keys)
+        ]
+        self.storm_choices = 0
+
+    def in_storm(self, t: float) -> bool:
+        return (
+            self.storm_start <= t < self.storm_start + self.storm_duration
+        )
+
+    def next(self, t: float) -> int:
+        """Key index for an arrival at virtual time ``t``."""
+        if self.in_storm(t) and self._rng.random() < self.hot_fraction:
+            self.storm_choices += 1
+            return self._hot[self._rng.randrange(len(self._hot))]
+        return self._zipf.next()

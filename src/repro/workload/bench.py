@@ -1,0 +1,140 @@
+"""The workload-realism headline bench behind ``BENCH_workload.json``.
+
+Four arrival-curve scenarios plus the session-churn soak, all on the
+virtual clock, all seed-deterministic:
+
+- **steady** — constant 0.8x-capacity offered load; the control whose
+  goodput is the "steady-state peak" every other number is judged
+  against.
+- **diurnal** — sinusoidal breathing between 0.35x and 1.05x capacity.
+- **flash** — 0.5x baseline with a 3x-capacity storm through the
+  middle 40% of the horizon; the headline gate asserts goodput
+  *during* the storm stays >= 70% of the steady-state peak
+  (``flash_retention``).
+- **hotkey** — steady 0.8x rate whose key choice collapses onto a
+  4-key hot set for the middle of the run (lock/cache stress, not
+  aggregate-rate stress).
+- **churn** — a million session lifecycles against the real
+  :class:`~repro.core.session.SessionManager`, reporting structural
+  bytes per live session (must stay bounded).
+
+The headline dict lands in ``BENCH_workload.json`` through
+:mod:`repro.bench.trajectory`, so CI can regress-gate ``goodput_steady``
+and ``flash_retention`` against the committed baseline.
+"""
+
+from __future__ import annotations
+
+from repro.bench.overload import OverloadConfig, calibrate_capacity
+from repro.bench.trajectory import record as record_trajectory
+from repro.workload.arrival import (
+    DiurnalCurve,
+    FlashCrowdCurve,
+    HotKeyStorm,
+    SteadyCurve,
+)
+from repro.workload.scenarios import (
+    ScenarioConfig,
+    ScenarioResult,
+    run_scenario,
+)
+from repro.workload.sessions import ChurnConfig, run_session_churn
+
+#: Operations per scenario at scale 1.0.
+OPERATIONS = 512
+#: The acceptance gate: storm goodput / steady goodput.
+FLASH_RETENTION_FLOOR = 0.70
+
+
+def _config(name: str, seed: int) -> ScenarioConfig:
+    return ScenarioConfig(name=name, seed=seed)
+
+
+def run_workload_bench(
+    seed: int = 17,
+    operations: int = OPERATIONS,
+    lifecycles: int = 1_000_000,
+    record: bool = True,
+) -> dict:
+    """Run every scenario + the soak; returns the headline dict.
+
+    ``record=False`` skips writing ``BENCH_workload.json`` (tests and
+    CI compare against the committed file instead of rewriting it).
+    """
+    capacity = calibrate_capacity(OverloadConfig(seed=seed))
+    horizon = operations / (0.8 * capacity)
+    results: dict[str, ScenarioResult] = {}
+
+    steady = run_scenario(
+        _config("steady", seed), SteadyCurve(0.8 * capacity),
+        capacity, horizon,
+    )
+    results["steady"] = steady
+
+    results["diurnal"] = run_scenario(
+        _config("diurnal", seed),
+        DiurnalCurve(0.7 * capacity, amplitude=0.5, period=horizon / 2.0),
+        capacity, horizon,
+    )
+
+    storm_start = 0.3 * horizon
+    storm_duration = 0.4 * horizon
+    flash_curve = FlashCrowdCurve(
+        0.5 * capacity, 3.0 * capacity, storm_start, storm_duration
+    )
+    flash = run_scenario(
+        _config("flash", seed), flash_curve, capacity, horizon
+    )
+    results["flash"] = flash
+
+    hotkey_config = _config("hotkey", seed)
+    storm = HotKeyStorm(
+        hotkey_config.base.record_count,
+        seed=seed,
+        storm_start=storm_start,
+        storm_duration=storm_duration,
+    )
+    results["hotkey"] = run_scenario(
+        hotkey_config, SteadyCurve(0.8 * capacity), capacity, horizon,
+        key_chooser=storm,
+    )
+
+    churn = run_session_churn(
+        ChurnConfig(lifecycles=lifecycles, seed=seed)
+    )
+
+    goodput_storm = flash.goodput_in(
+        storm_start, storm_start + storm_duration
+    )
+    retention = (
+        goodput_storm / steady.goodput if steady.goodput else 0.0
+    )
+    headline = {
+        "capacity": round(capacity, 1),
+        "goodput_steady": round(steady.goodput, 1),
+        "goodput_storm": round(goodput_storm, 1),
+        "flash_retention": round(retention, 4),
+        "shed_rate_flash": round(flash.shed_rate, 4),
+        "worst_slo_flash": flash.worst_slo_state,
+        "goodput_diurnal": round(results["diurnal"].goodput, 1),
+        "goodput_hotkey": round(results["hotkey"].goodput, 1),
+        "shed_rate_hotkey": round(results["hotkey"].shed_rate, 4),
+        "p99_get_ms_steady": round(
+            steady.p99_by_class.get("get/p1", 0.0) * 1e3, 3
+        ),
+        "p99_put_ms_steady": round(
+            steady.p99_by_class.get("put/p2", 0.0) * 1e3, 3
+        ),
+        "acked_writes_lost": sum(
+            r.acked_writes_lost for r in results.values()
+        ),
+        "churn_lifecycles": churn.lifecycles,
+        "churn_peak_live": churn.peak_live,
+        "churn_max_bytes_per_session": round(
+            churn.max_bytes_per_session, 1
+        ),
+        "trace_sha_flash": flash.trace_sha,
+    }
+    if record:
+        record_trajectory("workload", headline)
+    return headline

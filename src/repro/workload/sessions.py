@@ -1,0 +1,148 @@
+"""Session-churn soak: millions of lifecycles, bounded footprint.
+
+A million-user deployment does not hold a million live sessions — it
+holds a bounded working set that churns as users connect, act, idle
+out, and occasionally come back.  This harness drives the real
+:class:`~repro.core.session.SessionManager` through that lifecycle on
+the virtual clock and measures the *structural* per-session state
+footprint (:meth:`~repro.core.session.Session.footprint`: token
+bucket, async op ids, transaction handles, fingerprint) rather than
+``sys.getsizeof``, so the number is deterministic across interpreter
+versions and the soak can assert a hard bytes-per-live-session bound.
+
+Everything is seeded; two same-seed soaks produce identical reports,
+including the sampled footprint series.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.admission import TokenBucket
+from repro.core.session import SessionManager
+
+
+@dataclass
+class ChurnConfig:
+    """One soak run."""
+
+    lifecycles: int = 1_000_000
+    #: SessionManager cap (the paper's ~10K concurrent clients).
+    max_sessions: int = 10_000
+    #: Idle expiry; together with the mean inter-arrival gap this sets
+    #: the steady-state live-session count (~expiry / gap).
+    expiry_seconds: float = 600.0
+    #: Mean virtual seconds between lifecycle starts.
+    mean_gap: float = 0.1
+    #: Fraction of connects that are returning users (session resume).
+    return_fraction: float = 0.2
+    #: Fraction of connects that do work that grows session state
+    #: (async op ids, transaction handles).
+    active_fraction: float = 0.1
+    #: Pending async op ids a session may accumulate before the
+    #: harness acknowledges them (drains the list).
+    max_pending_ops: int = 8
+    seed: int = 23
+    #: Sample the aggregate footprint every N lifecycles.
+    sample_every: int = 10_000
+    #: Sweep expired sessions every N lifecycles (keeps the manager's
+    #: dict near its steady-state size instead of its cap).
+    sweep_every: int = 1_000
+
+
+@dataclass
+class ChurnReport:
+    """Soak outcome: lifecycle counters + footprint bound."""
+
+    lifecycles: int
+    created: int
+    resumed: int
+    expired: int
+    peak_live: int
+    final_live: int
+    #: (virtual time, live sessions, bytes per live session) samples.
+    samples: list = field(default_factory=list)
+    max_bytes_per_session: float = 0.0
+    mean_bytes_per_session: float = 0.0
+
+    def row(self) -> dict:
+        return {
+            "lifecycles": self.lifecycles,
+            "created": self.created,
+            "resumed": self.resumed,
+            "expired": self.expired,
+            "peak_live": self.peak_live,
+            "max_bytes_per_session": round(self.max_bytes_per_session, 1),
+            "mean_bytes_per_session": round(self.mean_bytes_per_session, 1),
+        }
+
+
+def run_session_churn(config: ChurnConfig | None = None) -> ChurnReport:
+    """Run the soak; see :class:`ChurnConfig` for the model knobs."""
+    config = config or ChurnConfig()
+    rng = random.Random(config.seed)
+    manager = SessionManager(
+        expiry_seconds=config.expiry_seconds,
+        max_sessions=config.max_sessions,
+    )
+    vnow = 0.0
+    peak_live = 0
+    samples: list[tuple[float, int, float]] = []
+    # Recently seen fingerprints, for the returning-user draw.  A
+    # bounded window keeps the draw O(1) and biases returns towards
+    # users recent enough to still hold a live session.
+    recent: list[str] = []
+    recent_cap = 4 * int(config.expiry_seconds / config.mean_gap)
+
+    for index in range(config.lifecycles):
+        vnow += config.mean_gap * (0.5 + rng.random())
+        if recent and rng.random() < config.return_fraction:
+            fingerprint = recent[rng.randrange(len(recent))]
+        else:
+            fingerprint = f"fp-churn-{index:09d}"
+            if len(recent) >= recent_cap:
+                recent[rng.randrange(recent_cap)] = fingerprint
+            else:
+                recent.append(fingerprint)
+        session = manager.connect(fingerprint, now=vnow)
+        session.touch(vnow)
+        if session.bucket is None:
+            # The admission layer attaches rate state lazily on first
+            # checked request; model that here so the footprint counts
+            # it for every active session.
+            session.bucket = TokenBucket(
+                rate=100.0, burst=200.0, tokens=200.0, updated=vnow
+            )
+        if rng.random() < config.active_fraction:
+            session.operations.append(f"op-{index:09d}")
+            if len(session.operations) > config.max_pending_ops:
+                # Client polled its async results: drain acknowledged ids.
+                del session.operations[: -config.max_pending_ops]
+            if rng.random() < 0.25:
+                session.transactions.add(f"tx-{index:09d}")
+            elif session.transactions:
+                session.transactions.pop()
+        if (index + 1) % config.sweep_every == 0:
+            manager.expire_idle(vnow)
+        live = len(manager)
+        peak_live = max(peak_live, live)
+        if (index + 1) % config.sample_every == 0 and live:
+            samples.append(
+                (vnow, live, manager.footprint_bytes() / live)
+            )
+
+    per_session = [bytes_per for _, _, bytes_per in samples]
+    return ChurnReport(
+        lifecycles=config.lifecycles,
+        created=manager.created,
+        resumed=manager.resumed,
+        expired=manager.expired,
+        peak_live=peak_live,
+        final_live=len(manager),
+        samples=samples,
+        max_bytes_per_session=max(per_session, default=0.0),
+        mean_bytes_per_session=(
+            sum(per_session) / len(per_session) if per_session else 0.0
+        ),
+    )

@@ -102,6 +102,41 @@ class ScrambledZipfianGenerator:
         return fnv_hash64(self._zipf.next()) % self.item_count
 
 
+class ScanLengthGenerator:
+    """Per-scan record count for workload E, in ``[1, max_length]``.
+
+    YCSB's default is a uniform scan length; ``zipfian`` skews towards
+    short scans (item 0 of the zipf draw maps to length 1), matching
+    the reference ``ScanLengthChooser`` options.
+    """
+
+    def __init__(
+        self,
+        max_length: int,
+        rng: random.Random,
+        distribution: str = "uniform",
+    ):
+        if max_length < 1:
+            raise ConfigurationError("max_length must be >= 1")
+        if distribution not in ("uniform", "zipfian"):
+            raise ConfigurationError(
+                f"unknown scan-length distribution {distribution!r}"
+            )
+        self.max_length = max_length
+        self.distribution = distribution
+        self._rng = rng
+        self._zipf = (
+            ZipfianGenerator(max_length, rng)
+            if distribution == "zipfian"
+            else None
+        )
+
+    def next(self) -> int:
+        if self._zipf is not None:
+            return min(self.max_length, self._zipf.next() + 1)
+        return self._rng.randrange(self.max_length) + 1
+
+
 class LatestGenerator:
     """Skewed towards the most recently inserted item (workload D)."""
 

@@ -7,7 +7,7 @@ from dataclasses import dataclass, field
 
 from repro.core.controller import PesosController
 from repro.core.request import Request
-from repro.ycsb.workload import INSERT, READ, Trace, UPDATE
+from repro.ycsb.workload import INSERT, READ, RMW, SCAN, Trace, UPDATE
 
 
 def _payload(size: int, rng: random.Random) -> bytes:
@@ -46,13 +46,20 @@ class RunStats:
     reads: int = 0
     updates: int = 0
     inserts: int = 0
+    scans: int = 0
+    rmws: int = 0
+    #: Records returned across all range scans (scan fan-out measure).
+    records_scanned: int = 0
     denied: int = 0
     errors: int = 0
     statuses: dict = field(default_factory=dict)
 
     @property
     def total(self) -> int:
-        return self.reads + self.updates + self.inserts
+        return (
+            self.reads + self.updates + self.inserts
+            + self.scans + self.rmws
+        )
 
 
 class TraceRunner:
@@ -85,6 +92,21 @@ class TraceRunner:
         if operation.op == READ:
             request = Request(method="get", key=operation.key)
             self.stats.reads += 1
+        elif operation.op == SCAN:
+            request = Request(
+                method="scan",
+                key=operation.key,
+                scan_count=operation.scan_length,
+            )
+            self.stats.scans += 1
+        elif operation.op == RMW:
+            request = Request(
+                method="rmw",
+                key=operation.key,
+                value=_payload(operation.value_size, self._rng),
+                policy_id=self.policy_id,
+            )
+            self.stats.rmws += 1
         elif operation.op in (UPDATE, INSERT):
             version = None
             if self.version_aware:
@@ -111,6 +133,8 @@ class TraceRunner:
         self.stats.statuses[response.status] = (
             self.stats.statuses.get(response.status, 0) + 1
         )
+        if operation.op == SCAN and response.ok:
+            self.stats.records_scanned += response.extra.get("scanned", 0)
         if response.status == 403:
             self.stats.denied += 1
         elif not response.ok:

@@ -1,0 +1,172 @@
+"""Range scans (GETKEYRANGE) and read-modify-write through the stack."""
+
+import pytest
+
+from repro.core.controller import ControllerConfig, PesosController
+from repro.core.request import (
+    Request,
+    Response,
+    build_http_request,
+    parse_http_request,
+    parse_http_response,
+    render_http_response,
+)
+from repro.errors import RequestError
+from tests.core.conftest import ALICE, BOB, make_clients
+
+
+def _load(controller, count=12, prefix="obj"):
+    keys = [f"{prefix}{i:04d}" for i in range(count)]
+    for key in keys:
+        assert controller.put(ALICE, key, f"v-{key}".encode()).ok
+    return keys
+
+
+def _scan(controller, fingerprint, start, count):
+    return controller.handle(
+        Request(method="scan", key=start, scan_count=count), fingerprint
+    )
+
+
+def _lines(response):
+    return response.value.decode().splitlines() if response.value else []
+
+
+def test_scan_returns_sorted_range_with_versions(controller):
+    keys = _load(controller)
+    response = _scan(controller, ALICE, keys[0], 5)
+    assert response.ok
+    lines = _lines(response)
+    assert len(lines) == 5
+    returned = [line.split("@")[0] for line in lines]
+    assert returned == sorted(returned) == keys[:5]
+    assert all(line.endswith("@0") for line in lines)
+
+
+def test_scan_starts_mid_keyspace(controller):
+    keys = _load(controller)
+    response = _scan(controller, ALICE, keys[4], 4)
+    assert [line.split("@")[0] for line in _lines(response)] == keys[4:8]
+
+
+def test_scan_merges_across_all_drives(controller):
+    """Keys are placement-hashed across drives; a logical range scan
+    must union every drive's metadata range, not just one replica's."""
+    keys = _load(controller, count=24)
+    response = _scan(controller, ALICE, keys[0], 24)
+    assert [line.split("@")[0] for line in _lines(response)] == keys
+
+
+def test_scan_count_is_clamped_not_refused():
+    clients, _cluster = make_clients()
+    controller = PesosController(
+        clients,
+        storage_key=b"k" * 32,
+        config=ControllerConfig(max_scan_count=4),
+    )
+    keys = _load(controller)
+    response = _scan(controller, ALICE, keys[0], 100)
+    assert response.ok
+    assert len(_lines(response)) == 4
+
+
+def test_scan_requires_positive_count(controller):
+    with pytest.raises(RequestError):
+        Request(method="scan", key="a", scan_count=0).validate()
+
+
+def test_scan_skips_policy_denied_records(controller):
+    """A scan over mixed-policy records returns what the caller may
+    read and counts the rest, instead of failing the whole range."""
+    policy = controller.put_policy(
+        ALICE,
+        f"read :- sessionKeyIs(k'{ALICE}')\n"
+        f"update :- sessionKeyIs(k'{ALICE}')",
+    ).policy_id
+    open_keys = _load(controller, count=4, prefix="open")
+    for i in range(4):
+        assert controller.put(
+            ALICE, f"priv{i:04d}", b"secret", policy_id=policy
+        ).ok
+    response = _scan(controller, BOB, "open0000", 8)
+    assert response.ok
+    returned = [line.split("@")[0] for line in _lines(response)]
+    assert returned == open_keys
+    assert response.extra["denied"] == 4
+    alice_view = _scan(controller, ALICE, "open0000", 8)
+    assert len(_lines(alice_view)) == 8
+
+
+def test_scan_http_framing_roundtrip():
+    request = Request(method="scan", key="user000001", scan_count=25)
+    parsed = parse_http_request(build_http_request(request))
+    assert parsed.method == "scan"
+    assert parsed.key == "user000001"
+    assert parsed.scan_count == 25
+
+
+def test_scan_response_extras_survive_http():
+    response = Response(
+        status=200,
+        value=b"a@0\nb@1\n",
+        extra={"scanned": 2, "denied": 0, "read_version": 7},
+    )
+    parsed = parse_http_response(render_http_response(response))
+    assert parsed.extra["scanned"] == 2
+    assert parsed.extra["denied"] == 0
+    assert parsed.extra["read_version"] == 7
+    assert parsed.value == response.value
+
+
+def test_rmw_reads_then_writes_atomically(controller):
+    controller.put(ALICE, "counter", b"1")
+    response = controller.handle(
+        Request(method="rmw", key="counter", value=b"2"), ALICE
+    )
+    assert response.ok
+    assert response.version == 1  # the write bumped the version
+    assert response.extra["read_version"] == 0  # ...after reading v0
+    assert controller.get(ALICE, "counter").value == b"2"
+
+
+def test_rmw_missing_key_404(controller):
+    response = controller.handle(
+        Request(method="rmw", key="ghost", value=b"x"), ALICE
+    )
+    assert response.status == 404
+
+
+def test_rmw_respects_write_policy(controller):
+    policy = controller.put_policy(
+        ALICE, f"read :- eq(1, 1)\nupdate :- sessionKeyIs(k'{ALICE}')"
+    ).policy_id
+    controller.put(ALICE, "locked", b"v0", policy_id=policy)
+    denied = controller.handle(
+        Request(method="rmw", key="locked", value=b"v1"), BOB
+    )
+    assert denied.status == 403
+    assert controller.get(ALICE, "locked").value == b"v0"
+    allowed = controller.handle(
+        Request(method="rmw", key="locked", value=b"v1"), ALICE
+    )
+    assert allowed.ok
+
+
+def test_scan_observes_rmw_version_bumps(controller):
+    keys = _load(controller, count=3)
+    controller.handle(
+        Request(method="rmw", key=keys[1], value=b"new"), ALICE
+    )
+    lines = _lines(_scan(controller, ALICE, keys[0], 3))
+    by_key = dict(line.split("@") for line in lines)
+    assert by_key[keys[0]] == "0"
+    assert by_key[keys[1]] == "1"
+
+
+def test_scan_replicated_store_deduplicates(replicated_controller):
+    """With replication factor 3 every drive holds every key: the scan
+    must still return each key exactly once."""
+    keys = _load(replicated_controller, count=6)
+    lines = _lines(_scan(replicated_controller, ALICE, keys[0], 12))
+    returned = [line.split("@")[0] for line in lines]
+    assert returned == keys

@@ -1,0 +1,122 @@
+"""Property tests: percentile monotonicity, burn rates never negative.
+
+Two invariants the workload bench leans on for its headline numbers,
+checked over generated inputs rather than fixed examples:
+
+- ``Histogram.percentile`` is monotone in the quantile — p99 can never
+  read below p50, whatever the observations.
+- SLO burn rates and budget arithmetic never go negative, even under
+  sparse, bursty (flash-crowd shaped) event timelines with long idle
+  gaps between bursts.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.slo import ObjectiveState, SloSpec
+
+_latencies = st.lists(
+    st.floats(
+        min_value=0.0, max_value=120.0,
+        allow_nan=False, allow_infinity=False,
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+#: Sparse flash-crowd timeline: bursts of (gap, outcomes) where gaps
+#: can dwarf the SLO window, leaving most buckets empty.
+_bursts = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+        st.lists(st.booleans(), min_size=1, max_size=20),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def _histogram(values):
+    registry = MetricsRegistry()
+    histogram = registry.histogram("t_latency", "test")
+    for value in values:
+        histogram.observe(value)
+    return histogram
+
+
+@settings(max_examples=80, deadline=None)
+@given(values=_latencies, lo=st.floats(0.5, 100.0), hi=st.floats(0.5, 100.0))
+def test_percentile_monotone_in_quantile(values, lo, hi):
+    histogram = _histogram(values)
+    lo, hi = min(lo, hi), max(lo, hi)
+    assert histogram.percentile(lo) <= histogram.percentile(hi)
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=_latencies)
+def test_percentile_within_observed_support(values):
+    histogram = _histogram(values)
+    p100 = histogram.percentile(100.0)
+    p1 = histogram.percentile(1.0)
+    assert 0.0 <= p1 <= p100
+    assert not math.isnan(p1)
+
+
+def test_empty_histogram_percentile_is_nan():
+    assert math.isnan(_histogram([]).percentile(99.0))
+
+
+def _replay(bursts, objective="availability"):
+    spec = SloSpec(
+        name="t",
+        request_class="get/p1",
+        objective=objective,
+        target=0.99,
+        threshold=0.025 if objective == "latency" else None,
+        window=60.0,
+    )
+    state = ObjectiveState(spec)
+    vnow = 0.0
+    for gap, outcomes in bursts:
+        vnow += gap
+        for ok in outcomes:
+            state.record(ok, 0.01 if ok else 1.0, vnow)
+    return state, vnow
+
+
+@settings(max_examples=80, deadline=None)
+@given(bursts=_bursts)
+def test_burn_rate_never_negative_under_sparse_bursts(bursts):
+    state, vnow = _replay(bursts)
+    for window in (state.spec.fast, state.spec.slow, state.spec.window):
+        for probe in (vnow, vnow + 30.0, vnow + 1000.0):
+            assert state.burn_rate(probe, window) >= 0.0
+
+
+@settings(max_examples=80, deadline=None)
+@given(bursts=_bursts)
+def test_budget_remaining_stays_in_unit_interval(bursts):
+    state, vnow = _replay(bursts)
+    for probe in (vnow, vnow + 30.0, vnow + 1000.0):
+        remaining = state.budget_remaining(probe)
+        assert 0.0 <= remaining <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(bursts=_bursts)
+def test_latency_objective_burn_also_non_negative(bursts):
+    state, vnow = _replay(bursts, objective="latency")
+    assert state.burn_rate(vnow, state.spec.fast) >= 0.0
+    assert state.state(vnow) in ("healthy", "burning", "exhausted")
+
+
+@settings(max_examples=40, deadline=None)
+@given(bursts=_bursts)
+def test_all_good_events_never_burn(bursts):
+    all_good = [(gap, [True] * len(outcomes)) for gap, outcomes in bursts]
+    state, vnow = _replay(all_good)
+    assert state.burn_rate(vnow, state.spec.fast) == 0.0
+    assert state.budget_remaining(vnow) == 1.0

@@ -1,0 +1,99 @@
+"""Arrival curves and the open-loop integrator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.arrival import (
+    DiurnalCurve,
+    FlashCrowdCurve,
+    HotKeyStorm,
+    SteadyCurve,
+    generate_arrivals,
+)
+
+
+def test_steady_arrivals_are_evenly_spaced():
+    arrivals = generate_arrivals(SteadyCurve(10.0), horizon=2.0)
+    assert arrivals[0] == 0.0
+    gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+    assert all(abs(gap - 0.1) < 1e-12 for gap in gaps)
+    assert len(arrivals) == 20
+
+
+def test_arrivals_deterministic():
+    curve = DiurnalCurve(50.0, amplitude=0.5, period=10.0)
+    assert generate_arrivals(curve, 30.0) == generate_arrivals(curve, 30.0)
+
+
+def test_diurnal_rate_breathes_around_base():
+    curve = DiurnalCurve(100.0, amplitude=0.5, period=40.0)
+    assert curve.rate(10.0) == pytest.approx(150.0)  # peak of the sine
+    assert curve.rate(30.0) == pytest.approx(50.0)  # trough
+    arrivals = generate_arrivals(curve, 40.0)
+    # More arrivals land in the high half-period than the low one.
+    first = sum(1 for t in arrivals if t < 20.0)
+    assert first > len(arrivals) - first
+
+
+def test_flash_crowd_step_spikes_density():
+    curve = FlashCrowdCurve(10.0, 100.0, start=5.0, duration=5.0)
+    arrivals = generate_arrivals(curve, 15.0)
+    storm = sum(1 for t in arrivals if curve.in_storm(t))
+    calm = len(arrivals) - storm
+    assert storm > 5 * calm / 2  # 10x rate over a third of the horizon
+    assert curve.rate(5.0) == 100.0 and curve.rate(10.0) == 10.0
+
+
+def test_flash_crowd_validates_shape():
+    with pytest.raises(ConfigurationError):
+        FlashCrowdCurve(100.0, 50.0, start=0.0, duration=1.0)
+    with pytest.raises(ConfigurationError):
+        FlashCrowdCurve(10.0, 20.0, start=0.0, duration=0.0)
+
+
+def test_diurnal_validates_amplitude():
+    with pytest.raises(ConfigurationError):
+        DiurnalCurve(10.0, amplitude=1.0)
+
+
+def test_generate_arrivals_caps_events():
+    arrivals = generate_arrivals(SteadyCurve(1000.0), 100.0, max_events=64)
+    assert len(arrivals) == 64
+
+
+def test_generate_arrivals_rejects_bad_horizon():
+    with pytest.raises(ConfigurationError):
+        generate_arrivals(SteadyCurve(10.0), horizon=0.0)
+
+
+def test_hot_key_storm_focuses_choices():
+    storm = HotKeyStorm(
+        1000, seed=5, storm_start=10.0, storm_duration=10.0,
+        hot_keys=4, hot_fraction=0.9,
+    )
+    outside = {storm.next(1.0) for _ in range(200)}
+    inside = [storm.next(12.0) for _ in range(200)]
+    # During the storm the vast majority of picks land on <= 4 keys.
+    from collections import Counter
+
+    top = Counter(inside).most_common(4)
+    assert sum(count for _, count in top) >= 0.8 * len(inside)
+    # Outside it the spread is zipfian-wide.
+    assert len(outside) > 50
+
+
+def test_hot_key_storm_deterministic():
+    picks = []
+    for _ in range(2):
+        storm = HotKeyStorm(100, seed=9, storm_start=1.0, storm_duration=2.0)
+        picks.append([storm.next(t / 10.0) for t in range(50)])
+    assert picks[0] == picks[1]
+
+
+def test_hot_key_storm_validates():
+    with pytest.raises(ConfigurationError):
+        HotKeyStorm(10, seed=1, storm_start=0, storm_duration=1, hot_keys=0)
+    with pytest.raises(ConfigurationError):
+        HotKeyStorm(
+            10, seed=1, storm_start=0, storm_duration=1, hot_fraction=1.5
+        )

@@ -1,0 +1,54 @@
+"""The headline workload bench: gates, trajectory, reproducibility."""
+
+import json
+
+import pytest
+
+from repro.bench import trajectory
+from repro.workload.bench import FLASH_RETENTION_FLOOR, run_workload_bench
+
+
+@pytest.fixture(scope="module")
+def headline(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("trajectory")
+    previous = trajectory.os.environ.get("REPRO_TRAJECTORY_DIR")
+    trajectory.os.environ["REPRO_TRAJECTORY_DIR"] = str(directory)
+    try:
+        result = run_workload_bench(
+            seed=17, operations=192, lifecycles=40_000
+        )
+    finally:
+        if previous is None:
+            del trajectory.os.environ["REPRO_TRAJECTORY_DIR"]
+        else:
+            trajectory.os.environ["REPRO_TRAJECTORY_DIR"] = previous
+    return result, directory
+
+
+def test_bench_clears_acceptance_gates(headline):
+    result, _directory = headline
+    assert result["flash_retention"] >= FLASH_RETENTION_FLOOR
+    assert result["acked_writes_lost"] == 0
+    assert result["churn_max_bytes_per_session"] < 2048
+    assert result["goodput_steady"] > 0
+
+
+def test_bench_records_trajectory_file(headline):
+    result, directory = headline
+    path = directory / "BENCH_workload.json"
+    assert path.exists()
+    payload = json.loads(path.read_text())
+    assert payload["bench"] == "workload"
+    assert payload["latest"] == dict(sorted(result.items()))
+
+
+def test_committed_bench_file_holds_the_gates():
+    """The checked-in BENCH_workload.json must itself satisfy the
+    acceptance criteria the CI job enforces on fresh runs."""
+    committed = trajectory.load("workload")
+    assert committed is not None, "BENCH_workload.json missing"
+    latest = committed["latest"]
+    assert latest["flash_retention"] >= FLASH_RETENTION_FLOOR
+    assert latest["acked_writes_lost"] == 0
+    assert latest["churn_lifecycles"] == 1_000_000
+    assert latest["churn_max_bytes_per_session"] < 2048

@@ -1,0 +1,68 @@
+"""Session-churn soak: bounded footprint, deterministic reports."""
+
+from repro.core.session import Session
+from repro.workload.sessions import ChurnConfig, run_session_churn
+
+#: Hard bound the soak asserts: structural bytes per live session.
+BYTES_PER_SESSION_BOUND = 2048
+
+
+def _small(**overrides) -> ChurnConfig:
+    defaults = dict(
+        lifecycles=50_000, sample_every=5_000, seed=31,
+    )
+    defaults.update(overrides)
+    return ChurnConfig(**defaults)
+
+
+def test_footprint_is_structural_and_deterministic():
+    session = Session(fingerprint="fp-x", created_at=0.0, last_active=0.0)
+    empty = session.footprint()
+    session.operations.append("op-000000001")
+    session.transactions.add("tx-000000001")
+    grown = session.footprint()
+    assert grown > empty
+    # Draining state shrinks it back exactly — no monotonic creep.
+    session.operations.clear()
+    session.transactions.clear()
+    assert session.footprint() == empty
+
+
+def test_churn_footprint_stays_bounded():
+    report = run_session_churn(_small())
+    assert report.lifecycles == 50_000
+    assert report.samples, "soak must sample the footprint"
+    assert report.max_bytes_per_session < BYTES_PER_SESSION_BOUND
+    # Later samples must not trend upward: the last sample stays within
+    # 5% of the maximum seen, i.e. no slow per-lifecycle leak.
+    last = report.samples[-1][2]
+    assert last <= report.max_bytes_per_session * 1.05
+
+
+def test_churn_live_set_stays_under_cap():
+    config = _small()
+    report = run_session_churn(config)
+    assert report.peak_live <= config.max_sessions
+    # Sessions actually churn: most lifecycles expire within the run.
+    assert report.expired > report.lifecycles // 2
+    assert report.final_live < report.created
+
+
+def test_churn_resumes_returning_users():
+    report = run_session_churn(_small(return_fraction=0.3))
+    assert report.resumed > 0
+    assert report.created + report.resumed == report.lifecycles
+
+
+def test_churn_report_deterministic():
+    first = run_session_churn(_small())
+    second = run_session_churn(_small())
+    assert first == second
+
+
+def test_churn_report_row_is_summary():
+    row = run_session_churn(_small(lifecycles=10_000)).row()
+    assert set(row) == {
+        "lifecycles", "created", "resumed", "expired", "peak_live",
+        "max_bytes_per_session", "mean_bytes_per_session",
+    }

@@ -7,7 +7,9 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.ycsb.distributions import (
+    ZIPFIAN_CONSTANT,
     LatestGenerator,
+    ScanLengthGenerator,
     ScrambledZipfianGenerator,
     UniformGenerator,
     ZipfianGenerator,
@@ -105,3 +107,90 @@ def test_fnv_hash_is_stable_and_spreads():
     assert fnv_hash64(1) != fnv_hash64(2)
     low_bits = {fnv_hash64(i) % 100 for i in range(200)}
     assert len(low_bits) > 50
+
+
+# -- chi-square-style frequency checks (fixed seeds) ----------------------
+
+def _chi_square(counts: Counter, expected: dict) -> float:
+    return sum(
+        (counts.get(item, 0) - want) ** 2 / want
+        for item, want in expected.items()
+    )
+
+
+def test_uniform_frequencies_chi_square():
+    """Observed uniform counts fit the flat expectation.
+
+    10 cells at 1000 expected each: chi-square with 9 degrees of
+    freedom has a 99.9th percentile of ~27.9, so a correct generator
+    at this fixed seed sits far below the bound.
+    """
+    gen = UniformGenerator(10, random.Random(70))
+    counts = Counter(_samples(gen, 10_000))
+    expected = {i: 1000.0 for i in range(10)}
+    assert _chi_square(counts, expected) < 27.9
+
+
+def test_zipfian_frequencies_follow_power_law():
+    """Observed zipfian head counts track the 1/(rank+1)^theta law.
+
+    Gray et al.'s rejection-free sampler is an *approximation* to the
+    exact pmf (rank 2 runs ~10-15% hot by construction), so instead of
+    an exact chi-square this bounds each head rank's relative error at
+    25% — tight enough to catch a broken eta/alpha derivation, loose
+    enough for the algorithm's known bias.
+    """
+    n, draws = 50, 40_000
+    gen = ZipfianGenerator(n, random.Random(72))
+    counts = Counter(_samples(gen, draws))
+    weights = [1.0 / ((i + 1) ** ZIPFIAN_CONSTANT) for i in range(n)]
+    total = sum(weights)
+    for rank in range(10):
+        expected = draws * weights[rank] / total
+        assert abs(counts.get(rank, 0) - expected) < 0.25 * expected
+
+
+def test_latest_frequencies_match_mirrored_zipfian():
+    """latest(k) is zipfian popularity mirrored onto the newest item."""
+    n, draws = 50, 40_000
+    gen = LatestGenerator(n, random.Random(73))
+    counts = Counter(_samples(gen, draws))
+    weights = [1.0 / ((i + 1) ** ZIPFIAN_CONSTANT) for i in range(n)]
+    total = sum(weights)
+    for offset in range(10):
+        expected = draws * weights[offset] / total
+        observed = counts.get(n - 1 - offset, 0)
+        assert abs(observed - expected) < 0.25 * expected
+
+
+# -- scan-length generator (workload E) -----------------------------------
+
+def test_scan_length_uniform_in_bounds():
+    gen = ScanLengthGenerator(100, random.Random(74))
+    lengths = _samples(gen, 5000)
+    assert all(1 <= length <= 100 for length in lengths)
+    counts = Counter(lengths)
+    assert len(counts) == 100  # every length reachable
+    assert max(counts.values()) < 2.5 * min(counts.values())
+
+
+def test_scan_length_zipfian_prefers_short():
+    gen = ScanLengthGenerator(100, random.Random(75), distribution="zipfian")
+    lengths = _samples(gen, 5000)
+    assert all(1 <= length <= 100 for length in lengths)
+    counts = Counter(lengths)
+    assert counts.most_common(1)[0][0] == 1  # length 1 is the mode
+    assert sum(lengths) / len(lengths) < 20  # uniform would sit at ~50
+
+
+def test_scan_length_deterministic():
+    a = ScanLengthGenerator(50, random.Random(76))
+    b = ScanLengthGenerator(50, random.Random(76))
+    assert _samples(a, 200) == _samples(b, 200)
+
+
+def test_scan_length_validates():
+    with pytest.raises(ConfigurationError):
+        ScanLengthGenerator(0, random.Random(1))
+    with pytest.raises(ConfigurationError):
+        ScanLengthGenerator(10, random.Random(1), distribution="pareto")
