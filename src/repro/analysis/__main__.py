@@ -1,9 +1,12 @@
 """CLI driver: ``python -m repro.analysis [targets...]``.
 
 Targets are ``.py`` files / directories (linted) and ``.policy`` files
-(compiled and statically verified).  With no targets, analyzes the
-``repro`` package this module was imported from plus
-``examples/policies/*.policy`` under the current directory.
+(compiled and statically verified).  Directory targets additionally
+get the interprocedural secrecy-flow taint pass (whole-package by
+nature; ``--no-taint`` skips it, single-file targets never run it).
+With no targets, analyzes the ``repro`` package this module was
+imported from plus ``examples/policies/*.policy`` under the current
+directory.
 
 ``--fail-on-findings`` exits 1 when any *error*-severity finding
 remains after pragma suppression; warnings are reported but do not
@@ -25,6 +28,7 @@ from repro.analysis.findings import (
 )
 from repro.analysis.lint import lint_source
 from repro.analysis.policy_verify import verify_source
+from repro.analysis.taint import analyze_package
 from repro.errors import PolicyError
 
 #: The installed ``repro`` package root (works from any cwd).
@@ -51,8 +55,23 @@ def _iter_python_files(target: Path):
         yield target
 
 
-def analyze_targets(targets: list[Path]) -> list[Finding]:
+def _taint_root(target: Path) -> Path:
+    """The package root the taint pass should analyze for ``target``:
+    the innermost ``repro`` ancestor (so ``src/repro/core`` analyzes
+    the whole package — summaries need every module), else the
+    directory itself."""
+    parts = target.resolve().parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return Path(*parts[: index + 1])
+    return target
+
+
+def analyze_targets(
+    targets: list[Path], taint: bool = True
+) -> list[Finding]:
     findings: list[Finding] = []
+    taint_roots: list[Path] = []
     for target in targets:
         if target.suffix == ".policy":
             source = target.read_text()
@@ -81,6 +100,12 @@ def analyze_targets(targets: list[Path]) -> list[Finding]:
                 findings.extend(
                     lint_source(path.read_text(), _package_relative(path))
                 )
+            if taint and target.is_dir():
+                root = _taint_root(target)
+                if root not in taint_roots:
+                    taint_roots.append(root)
+    for root in taint_roots:
+        findings.extend(analyze_package(root))
     return findings
 
 
@@ -115,10 +140,15 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="exit 1 if any error-severity finding remains",
     )
+    parser.add_argument(
+        "--no-taint",
+        action="store_true",
+        help="skip the interprocedural secrecy-flow taint pass",
+    )
     args = parser.parse_args(argv)
 
     targets = args.targets or default_targets()
-    findings = analyze_targets(targets)
+    findings = analyze_targets(targets, taint=not args.no_taint)
 
     renderer = {
         "text": render_text,

@@ -1,0 +1,293 @@
+"""Package scanning and name-based call resolution for the taint pass.
+
+The taint analyzer needs to follow flows *across* function calls.
+Python has no static types to resolve a method call precisely, so this
+module builds the next best thing for a single self-contained package:
+
+- parse every module under the package root once;
+- index every function and method by qualified name
+  (``Class.method`` / ``function``) and by bare name;
+- resolve call expressions with a small set of precise rules and an
+  honest "unresolved" answer everywhere else (the analyzer treats
+  unresolved calls conservatively — taint propagates through them).
+
+Resolution rules, most precise first:
+
+1. ``self.m(...)`` → the method ``m`` on the *enclosing class* (then
+   its package base classes, one level).
+2. ``ClassName.m(...)`` / ``ClassName(...)`` → that class's method /
+   its ``__init__``.
+3. ``name(...)`` where ``name`` is a module-level function defined
+   anywhere in the package → that function (unique names only).
+4. ``obj.m(...)`` → every method named ``m`` in the package, *unless*
+   ``m`` is a generic container-protocol name (``append``, ``get``,
+   ``update``, ...) or is defined on too many classes — either makes a
+   name-based guess meaningless, so the call stays unresolved.
+
+The cap and blocklist are deliberate: a wrong edge would attach one
+class's sink summary to every ``list.append`` in the package.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Method names too generic for name-based resolution: matching these
+#: against package classes would mostly hit container look-alikes.
+GENERIC_METHOD_NAMES = frozenset(
+    {
+        "append",
+        "add",
+        "get",
+        "put",
+        "set",
+        "pop",
+        "update",
+        "extend",
+        "insert",
+        "remove",
+        "clear",
+        "close",
+        "read",
+        "write",
+        "open",
+        "send",
+        "recv",
+        "encode",
+        "decode",
+        "items",
+        "keys",
+        "values",
+        "copy",
+        "join",
+        "split",
+        "run",
+        "start",
+        "stop",
+        "reset",
+        "next",
+        "handle",
+        # ``int.from_bytes`` / ``int.to_bytes`` look-alikes.
+        "from_bytes",
+        "to_bytes",
+    }
+)
+
+#: Name-based resolution gives up beyond this many candidates.
+MAX_CANDIDATES = 4
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the package."""
+
+    qualname: str
+    name: str
+    rel_path: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_name: str = ""
+    #: Ordered parameter names, ``self``/``cls`` included.
+    params: list[str] = field(default_factory=list)
+
+    @property
+    def is_method(self) -> bool:
+        return bool(self.class_name)
+
+    def param_index(self, name: str) -> int | None:
+        try:
+            return self.params.index(name)
+        except ValueError:
+            return None
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    rel_path: str
+    #: Base-class *names* (package-local resolution only).
+    bases: list[str] = field(default_factory=list)
+    methods: dict = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    rel_path: str
+    tree: ast.Module
+    source_lines: list[str] = field(default_factory=list)
+    functions: dict = field(default_factory=dict)
+    classes: dict = field(default_factory=dict)
+
+
+def _params_of(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    args = node.args
+    names = [a.arg for a in args.posonlyargs + args.args]
+    names.extend(a.arg for a in args.kwonlyargs)
+    return names
+
+
+class CallGraph:
+    """The package-wide index plus the resolution rules."""
+
+    def __init__(self) -> None:
+        self.modules: list[ModuleInfo] = []
+        #: ``qualname`` → FunctionInfo (last definition wins; the
+        #: package has no intentional duplicate qualnames).
+        self.by_qualname: dict[str, FunctionInfo] = {}
+        #: bare function name → module-level functions with that name.
+        self.functions_by_name: dict[str, list[FunctionInfo]] = {}
+        #: bare method name → methods with that name.
+        self.methods_by_name: dict[str, list[FunctionInfo]] = {}
+        self.classes: dict[str, ClassInfo] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_module(self, rel_path: str, source: str) -> None:
+        try:
+            tree = ast.parse(source)
+        except SyntaxError:
+            return
+        module = ModuleInfo(
+            rel_path=rel_path, tree=tree, source_lines=source.splitlines()
+        )
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(
+                    qualname=node.name,
+                    name=node.name,
+                    rel_path=rel_path,
+                    node=node,
+                    params=_params_of(node),
+                )
+                module.functions[node.name] = info
+                self._index(info)
+            elif isinstance(node, ast.ClassDef):
+                cls = ClassInfo(
+                    name=node.name,
+                    rel_path=rel_path,
+                    bases=[
+                        base.id
+                        for base in node.bases
+                        if isinstance(base, ast.Name)
+                    ],
+                )
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        info = FunctionInfo(
+                            qualname=f"{node.name}.{item.name}",
+                            name=item.name,
+                            rel_path=rel_path,
+                            node=item,
+                            class_name=node.name,
+                            params=_params_of(item),
+                        )
+                        cls.methods[item.name] = info
+                        self._index(info)
+                module.classes[node.name] = cls
+                self.classes[node.name] = cls
+        self.modules.append(module)
+
+    def _index(self, info: FunctionInfo) -> None:
+        self.by_qualname[info.qualname] = info
+        bucket = (
+            self.methods_by_name if info.is_method else self.functions_by_name
+        )
+        bucket.setdefault(info.name, []).append(info)
+
+    # -- resolution --------------------------------------------------------
+
+    def method_on(self, class_name: str, method: str) -> FunctionInfo | None:
+        """``class_name.method``, following package bases one level."""
+        cls = self.classes.get(class_name)
+        if cls is None:
+            return None
+        if method in cls.methods:
+            return cls.methods[method]
+        for base in cls.bases:
+            parent = self.classes.get(base)
+            if parent is not None and method in parent.methods:
+                return parent.methods[method]
+        return None
+
+    def resolve_call(
+        self, call: ast.Call, enclosing_class: str = ""
+    ) -> list[FunctionInfo]:
+        """Targets of ``call``, or ``[]`` when honestly unresolved."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            # Constructor: ``ClassName(...)`` → ``__init__``.
+            ctor = self.method_on(name, "__init__")
+            if ctor is not None:
+                return [ctor]
+            if name in self.classes:
+                return []
+            candidates = self.functions_by_name.get(name, [])
+            if len(candidates) == 1:
+                return candidates
+            return []
+        if isinstance(func, ast.Attribute):
+            method = func.attr
+            receiver = func.value
+            if isinstance(receiver, ast.Name):
+                if receiver.id in ("self", "cls") and enclosing_class:
+                    target = self.method_on(enclosing_class, method)
+                    return [target] if target is not None else []
+                # ``ClassName.method(...)`` (classmethod/static idiom).
+                target = self.method_on(receiver.id, method)
+                if target is not None:
+                    return [target]
+            if method in GENERIC_METHOD_NAMES:
+                return []
+            candidates = self.methods_by_name.get(method, [])
+            if enclosing_class:
+                own = self.method_on(enclosing_class, method)
+                if own is not None and own not in candidates:
+                    candidates = candidates + [own]
+            if 1 <= len(candidates) <= MAX_CANDIDATES:
+                return candidates
+        return []
+
+    # -- iteration ---------------------------------------------------------
+
+    def all_functions(self):
+        for module in self.modules:
+            for info in module.functions.values():
+                yield module, info
+            for cls in module.classes.values():
+                for info in cls.methods.values():
+                    yield module, info
+
+
+def build_callgraph(
+    root: Path, excluded: dict | None = None
+) -> CallGraph:
+    """Scan every ``.py`` under ``root`` into a :class:`CallGraph`.
+
+    ``excluded`` maps package-relative path prefixes (``"bench/"``) to
+    exclusion reasons; matching modules are skipped entirely.
+    """
+    graph = CallGraph()
+    excluded = excluded or {}
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        rel = path.relative_to(root).as_posix()
+        if any(rel.startswith(prefix) for prefix in excluded):
+            continue
+        graph.add_module(rel, path.read_text())
+    return graph
+
+
+__all__ = [
+    "CallGraph",
+    "ClassInfo",
+    "FunctionInfo",
+    "GENERIC_METHOD_NAMES",
+    "MAX_CANDIDATES",
+    "ModuleInfo",
+    "build_callgraph",
+]

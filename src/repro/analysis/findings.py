@@ -48,6 +48,7 @@ class Finding:
             "file": self.file,
             "line": self.line,
             "message": self.message,
+            "context": self.context,
         }
 
 

@@ -25,7 +25,20 @@ suite depends on but cannot easily assert:
 ``core-no-swallow``
     No ``except Exception:`` / bare ``except:`` handler whose body
     lacks a ``raise``.  Swallowed faults turn corruption into silence;
-    handlers must narrow the type, re-raise, or both.
+    handlers must narrow the type, re-raise, or both.  Two variants
+    ride along: a broad handler that interpolates the *bound
+    exception* into a ``Response(...)`` leaks internal state (paths,
+    offsets, secret-bearing reprs) to HTTP clients — error; and a
+    broad handler in ``core/`` that only re-raises is flagged as a
+    *warning* so each one carries a written justification pragma.
+``crypto-nonce-reuse``
+    Every AEAD/GCM ``seal``/``encrypt`` call's nonce argument must be
+    visibly fresh: ``secrets.token_bytes(...)``, a monotonic-counter
+    ``.to_bytes(...)`` derivation, a nonce-derivation helper call, or
+    a pass-through ``nonce`` parameter of an enclosing wrapper.  A
+    constant, reused attribute, or anything else repeats (key, nonce)
+    pairs — which breaks GCM catastrophically (key recovery, not just
+    one lost message).
 ``telemetry-label-cardinality``
     ``.labels(...)`` arguments must be bounded: no f-strings,
     ``%``/``.format`` formatting, or values named after unbounded
@@ -139,9 +152,30 @@ _DRIVE_READ_ATTRS = {
 _FRESHNESS_EXEMPT = ("core/store.py", "core/freshness.py")
 
 
+#: AEAD entry points whose first argument is a nonce.
+_NONCE_METHODS = {"seal", "encrypt"}
+
+
 #: Modules whose import aliases the visitor resolves, so
 #: ``import time as _time`` cannot dodge the rules.
 _TRACKED_MODULES = {"time", "datetime", "random", "socket", "subprocess", "os"}
+
+
+def _is_fresh_nonce_expr(node: ast.AST) -> bool:
+    """Expression shapes that produce a never-repeating nonce."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        # ``secrets.token_bytes(12)`` / ``seq.to_bytes(12, "big")`` /
+        # ``self._nonce(generation, index)`` derivation helpers.
+        if func.attr in ("token_bytes", "to_bytes"):
+            return True
+        if "nonce" in func.attr.lower():
+            return True
+    elif isinstance(func, ast.Name) and "nonce" in func.id.lower():
+        return True
+    return False
 
 
 def _receiver_names(node: ast.AST) -> list[str]:
@@ -187,6 +221,8 @@ class _Visitor(ast.NodeVisitor):
         self.findings: list[Finding] = []
         #: Local name -> canonical dotted path, for tracked modules.
         self._aliases: dict[str, tuple[str, ...]] = {}
+        #: Per-function stack of names known to hold a fresh nonce.
+        self._nonce_scopes: list[set[str]] = []
 
     def _resolve(self, dotted: tuple[str, ...]) -> tuple[str, ...]:
         alias = self._aliases.get(dotted[0])
@@ -194,13 +230,17 @@ class _Visitor(ast.NodeVisitor):
             return alias + dotted[1:]
         return dotted
 
-    def report(self, rule: str, node: ast.AST, message: str) -> None:
+    def report(
+        self, rule: str, node: ast.AST, message: str,
+        severity: str = "error",
+    ) -> None:
         self.findings.append(
             Finding(
                 rule=rule,
                 message=message,
                 file=self.rel_path,
                 line=getattr(node, "lineno", 0),
+                severity=severity,
             )
         )
 
@@ -388,11 +428,61 @@ class _Visitor(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_default_clock(node)
+        self._enter_function(node)
         self.generic_visit(node)
+        self._nonce_scopes.pop()
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_default_clock(node)
+        self._enter_function(node)
         self.generic_visit(node)
+        self._nonce_scopes.pop()
+
+    # -- nonce freshness ---------------------------------------------------
+
+    def _enter_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        """Collect the names that provably hold a fresh nonce here:
+        ``nonce``-named parameters (wrapper pass-through — the caller
+        owes the freshness) and locals assigned from a fresh-nonce
+        expression anywhere in the body."""
+        args = node.args
+        safe = {
+            arg.arg
+            for arg in args.posonlyargs + args.args + args.kwonlyargs
+            if "nonce" in arg.arg.lower()
+        }
+        for stmt in ast.walk(node):
+            if isinstance(stmt, ast.Assign) and _is_fresh_nonce_expr(
+                stmt.value
+            ):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        safe.add(target.id)
+        self._nonce_scopes.append(safe)
+
+    def _check_nonce_freshness(self, node: ast.Call) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr not in _NONCE_METHODS or len(node.args) < 2:
+            return
+        nonce = node.args[0]
+        if _is_fresh_nonce_expr(nonce):
+            return
+        if isinstance(nonce, ast.Name) and any(
+            nonce.id in scope for scope in self._nonce_scopes
+        ):
+            return
+        self.report(
+            "crypto-nonce-reuse",
+            node,
+            f".{func.attr}() nonce is not visibly fresh: a repeated "
+            "(key, nonce) pair breaks GCM outright; use "
+            "secrets.token_bytes(), a monotonic counter's .to_bytes(), "
+            "or a nonce-derivation helper",
+        )
 
     # -- exception swallowing ----------------------------------------------
 
@@ -402,23 +492,66 @@ class _Visitor(ast.NodeVisitor):
         broad = node.type is None or (
             isinstance(node.type, ast.Name) and node.type.id == "Exception"
         )
-        if broad and not any(
+        label = (
+            "bare except:"
+            if node.type is None
+            else "except Exception:"
+        )
+        reraises = any(
             isinstance(inner, ast.Raise)
             for stmt in node.body
             for inner in ast.walk(stmt)
-        ):
-            label = (
-                "bare except:"
-                if node.type is None
-                else f"except {node.type.id}:"  # type: ignore[union-attr]
-            )
+        )
+        if broad and not reraises:
             self.report(
                 "core-no-swallow",
                 node,
                 f"{label} swallows every failure silently; narrow the "
                 "exception type or re-raise after recording",
             )
+        if broad and node.name and self._leaks_exc_into_response(node):
+            self.report(
+                "core-no-swallow",
+                node,
+                f"{label} interpolates the raw exception into an HTTP "
+                "response: a broad catch reprs *anything* that went "
+                "wrong — paths, offsets, secret-bearing state — "
+                "straight to the client; narrow the type or send a "
+                "fixed message",
+            )
+        elif broad and reraises and self.in_core:
+            self.report(
+                "core-no-swallow",
+                node,
+                f"broad {label} re-raise in core/: deliberate "
+                "catch-alls must carry a written justification pragma "
+                "so the next narrowing sweep skips them knowingly",
+                severity="warning",
+            )
         self.generic_visit(node)
+
+    def _leaks_exc_into_response(self, node: ast.ExceptHandler) -> bool:
+        """Does the handler body pass the bound exception (or any
+        expression containing it) into a ``Response(...)``?"""
+        bound = node.name
+        for stmt in node.body:
+            for inner in ast.walk(stmt):
+                if not (
+                    isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Name)
+                    and inner.func.id == "Response"
+                ):
+                    continue
+                values = list(inner.args) + [
+                    kw.value for kw in inner.keywords
+                ]
+                for value in values:
+                    if any(
+                        isinstance(leaf, ast.Name) and leaf.id == bound
+                        for leaf in ast.walk(value)
+                    ):
+                        return True
+        return False
 
     # -- dispatch ----------------------------------------------------------
 
@@ -428,6 +561,7 @@ class _Visitor(ast.NodeVisitor):
         self._check_drive_bypass(node)
         self._check_unverified_meta_read(node)
         self._check_labels(node)
+        self._check_nonce_freshness(node)
         self.generic_visit(node)
 
     def visit_Import(self, node: ast.Import) -> None:

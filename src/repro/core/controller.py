@@ -341,6 +341,11 @@ class PesosController:
             KineticDrive.DEMO_IDENTITY, KineticDrive.DEMO_KEY
         )
         for client in factory_clients:
+            # Provisioning the drive's account table necessarily sends
+            # the admin HMAC credential over the wire: this is the
+            # Kinetic security-setup protocol itself (done once, under
+            # the factory identity, before any client traffic).
+            # pesos: allow[taint/wire-frame]
             client.set_security([(admin_identity, admin_key, Role.all())])
         clients = cluster.connect_all(admin_identity, admin_key)
         return cls(

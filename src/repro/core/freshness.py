@@ -508,6 +508,11 @@ class FreshnessAuthority:
 
     def _gate(self) -> None:
         if self.forked:
+            # The fork reason quotes unsealed *pin state* — counter
+            # readings and root digests, enclave-attested integrity
+            # metadata rather than object content; surfacing it is the
+            # whole point of fork detection.
+            # pesos: allow[taint/exception-message]
             raise ForkDetected(
                 f"controller refuses to serve: {self.fork_reason}"
             )
@@ -600,6 +605,10 @@ class FreshnessAuthority:
             )
             return
         if state["counter"] != hw_counter:
+            # The audited fork reason quotes the unsealed pin state's
+            # counter — an integrity reading the chain must record,
+            # not secret content.
+            # pesos: allow[taint/audit-entry]
             self._fork(
                 f"sealed pin carries counter {state['counter']} but the "
                 f"monotonic counter reads {hw_counter}: stale sealed "

@@ -691,6 +691,10 @@ class ObjectStore:
         self.freshness.prepare(label, digest)
         try:
             write()
+        # Deliberately broad: whatever the write failed with, the
+        # pending pin must be rolled back before the error propagates
+        # — an abandoned prepare would wedge every later mutation.
+        # pesos: allow[core-no-swallow]
         except Exception:
             self.freshness.abort(label)
             raise

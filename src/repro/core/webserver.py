@@ -170,10 +170,12 @@ class WebServer:
                     request = parse_http_request(raw)
             except PesosError as exc:
                 response = Response(status=exc.status, error=str(exc))
+            # Deliberately broad: *any* non-protocol failure
+            # (framing bug, codec crash) must be counted before it
+            # propagates to the transport layer, and it is re-raised
+            # unmodified — nothing is swallowed or leaked.
+            # pesos: allow[core-no-swallow]
             except Exception:
-                # Non-protocol failures (framing bugs, codec crashes)
-                # used to escape uncounted; record them before they
-                # propagate to the transport layer.
                 self._m_errors.labels("parse_failure").inc()
                 root.set("error", "parse_failure")
                 raise

@@ -1,0 +1,240 @@
+"""Leak-mutation self-test for the secrecy-flow taint analyzer.
+
+Each test copies ``src/repro`` into a sandbox, injects ONE synthetic
+leak — a realistic mistake a future change could make — and asserts the
+analyzer reports it with the right rule in the right file.  The anchors
+are exact source snippets, so a refactor that moves them fails loudly
+(the test asserts the anchor exists before mutating) instead of
+silently testing nothing.
+
+Together with ``test_clean_tree_is_silent`` this pins both directions:
+no false positives on the real tree, no false negatives on the eight
+leak classes the threat model bans (drive write, wire frame, metric
+label, span attribute, HTTP body, audit entry, exception message, log
+line — plus the HTTP error-header variant).
+"""
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.taint import analyze_package
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+STORE = "core/store.py"
+CLIENT = "kinetic/client.py"
+CONTROLLER = "core/controller.py"
+WEBSERVER = "core/webserver.py"
+
+
+def mutate(tmp_path: Path, rel_path: str, old: str, new: str) -> Path:
+    """Copy the package and apply one anchored mutation."""
+    root = tmp_path / "repro"
+    shutil.copytree(
+        SRC, root, ignore=shutil.ignore_patterns("__pycache__")
+    )
+    target = root / rel_path
+    source = target.read_text()
+    assert old in source, f"mutation anchor vanished from {rel_path}"
+    target.write_text(source.replace(old, new, 1))
+    return root
+
+
+def rules_in(findings, rel_path: str):
+    return {f.rule for f in findings if f.file == rel_path}
+
+
+# -- baseline ----------------------------------------------------------------
+
+def test_clean_tree_is_silent():
+    findings = analyze_package(SRC)
+    assert findings == [], [
+        f"{f.file}:{f.line} {f.rule}" for f in findings
+    ]
+
+
+# -- the eight leak classes --------------------------------------------------
+
+WRITE_VALUE_SEAL = (
+    "        blob = self._seal(value, aad)\n"
+    "        self._write_replicas(key, self.value_key(key, slot), blob)"
+)
+
+
+def test_unsealed_drive_write_detected(tmp_path):
+    # Writing the plaintext instead of the sealed blob to a replica.
+    root = mutate(
+        tmp_path,
+        STORE,
+        WRITE_VALUE_SEAL,
+        "        blob = self._seal(value, aad)\n"
+        "        self.clients[0].put("
+        "self.value_key(key, slot), value, force=True)\n"
+        "        self._write_replicas(key, self.value_key(key, slot), blob)",
+    )
+    assert "taint/drive-write" in rules_in(analyze_package(root), STORE)
+
+
+def test_key_in_wire_frame_detected(tmp_path):
+    # Embedding the HMAC key into a PUT request body.
+    root = mutate(
+        tmp_path,
+        CLIENT,
+        "        response = self._roundtrip(MessageType.PUT, body)",
+        '        body["debug_mac"] = self._key\n'
+        "        response = self._roundtrip(MessageType.PUT, body)",
+    )
+    assert "taint/wire-frame" in rules_in(analyze_package(root), CLIENT)
+
+
+def test_plaintext_metric_label_detected(tmp_path):
+    # Using the object value as a Prometheus label.
+    root = mutate(
+        tmp_path,
+        STORE,
+        WRITE_VALUE_SEAL,
+        "        self._m_drive_bytes.labels(value).inc(1)\n"
+        + WRITE_VALUE_SEAL,
+    )
+    assert "taint/metric-label" in rules_in(analyze_package(root), STORE)
+
+
+def test_plaintext_span_attribute_detected(tmp_path):
+    # Recording the value itself (not its size) on a trace span.
+    root = mutate(
+        tmp_path,
+        STORE,
+        "            key=meta.key,\n"
+        "            version=new_version,\n"
+        "            bytes=len(value),\n"
+        "        ):",
+        "            key=meta.key,\n"
+        "            version=new_version,\n"
+        "            payload=value,\n"
+        "        ):",
+    )
+    assert "taint/span-attribute" in rules_in(analyze_package(root), STORE)
+
+
+def test_key_in_http_body_detected(tmp_path):
+    # Returning key material in an admin HTTP response body.
+    root = mutate(
+        tmp_path,
+        WEBSERVER,
+        '        return _admin_response(404, "text/plain",'
+        ' b"unknown admin path\\n")',
+        '        return _admin_response(\n'
+        '            200, "text/plain",'
+        " self.controller.store._aead._enc_key\n"
+        "        )",
+    )
+    assert "taint/http-body" in rules_in(analyze_package(root), WEBSERVER)
+
+
+GET_RESPONSE = (
+    "        self.effects.record(COPY, len(value))\n"
+    "        return Response("
+)
+
+
+def test_plaintext_audit_entry_detected(tmp_path):
+    # Recording the read value in the tamper-evident audit chain.
+    root = mutate(
+        tmp_path,
+        CONTROLLER,
+        GET_RESPONSE,
+        '        self.auditor.record_shed(\n'
+        '            "get", value, session.fingerprint, request.key, now\n'
+        "        )\n" + GET_RESPONSE,
+    )
+    assert "taint/audit-entry" in rules_in(analyze_package(root), CONTROLLER)
+
+
+def test_plaintext_exception_message_detected(tmp_path):
+    # Quoting the value in an error raised off the write path.
+    root = mutate(
+        tmp_path,
+        STORE,
+        WRITE_VALUE_SEAL,
+        "        if not value:\n"
+        '            raise ValueError(f"refusing empty write of {value!r}")\n'
+        + WRITE_VALUE_SEAL,
+    )
+    assert "taint/exception-message" in rules_in(
+        analyze_package(root), STORE
+    )
+
+
+def test_plaintext_log_line_detected(tmp_path):
+    # Debug print of the value on the write path.
+    root = mutate(
+        tmp_path,
+        STORE,
+        WRITE_VALUE_SEAL,
+        "        print(value)\n" + WRITE_VALUE_SEAL,
+    )
+    assert "taint/log-line" in rules_in(analyze_package(root), STORE)
+
+
+def test_plaintext_http_error_header_detected(tmp_path):
+    # Interpolating the value into the X-Pesos-Error header.
+    root = mutate(
+        tmp_path,
+        CONTROLLER,
+        "        return Response(\n"
+        "            status=200,\n"
+        "            value=value,\n"
+        "            version=version,\n"
+        "            policy_id=meta.policy_id,\n"
+        "        )",
+        "        return Response(\n"
+        "            status=200,\n"
+        "            value=value,\n"
+        "            version=version,\n"
+        "            policy_id=meta.policy_id,\n"
+        '            error=f"served {value!r}",\n'
+        "        )",
+    )
+    assert "taint/http-header" in rules_in(
+        analyze_package(root), CONTROLLER
+    )
+
+
+# -- suppression and precision ----------------------------------------------
+
+def test_pragma_silences_injected_leak(tmp_path):
+    root = mutate(
+        tmp_path,
+        STORE,
+        WRITE_VALUE_SEAL,
+        "        # pesos: allow[taint/log-line]\n"
+        "        print(value)\n" + WRITE_VALUE_SEAL,
+    )
+    assert "taint/log-line" not in rules_in(analyze_package(root), STORE)
+
+
+def test_mutated_tree_reports_only_the_mutation(tmp_path):
+    # A single injected leak must not fan out into unrelated files.
+    root = mutate(
+        tmp_path,
+        STORE,
+        WRITE_VALUE_SEAL,
+        "        print(value)\n" + WRITE_VALUE_SEAL,
+    )
+    findings = analyze_package(root)
+    assert {f.file for f in findings} == {STORE}
+
+
+@pytest.mark.parametrize(
+    "rel_path, anchor",
+    [
+        (STORE, WRITE_VALUE_SEAL),
+        (CLIENT, "        response = self._roundtrip(MessageType.PUT, body)"),
+        (CONTROLLER, GET_RESPONSE),
+        (WEBSERVER, "unknown admin path"),
+    ],
+)
+def test_anchors_still_exist(rel_path, anchor):
+    assert anchor in (SRC / rel_path).read_text()
