@@ -58,14 +58,14 @@ def _measure_ops(base: int = 3000) -> int:
 OPEN_POLICY = "read :- sessionKeyIs(K)\nupdate :- sessionKeyIs(K)"
 
 
-def _record_fig3(update: dict, preserve_prefix: str) -> None:
+def _record_fig3(update: dict, preserve: tuple) -> None:
     """Merge ``update`` into the fig3 trajectory entry.
 
     ``trajectory.record`` replaces ``latest`` wholesale, but fig3 is
-    fed by two independent experiments (the throughput sweep and the
-    freshness-overhead run); each preserves the other's keys —
-    selected by ``preserve_prefix`` — so neither run erases the
-    metrics it did not measure.
+    fed by independent experiments (the throughput sweep, the
+    freshness-overhead run, and the policy fast-path bench); each
+    preserves the others' keys — selected by the ``preserve`` prefix
+    tuple — so no run erases the metrics it did not measure.
     """
     from repro.bench.trajectory import load
 
@@ -73,7 +73,7 @@ def _record_fig3(update: dict, preserve_prefix: str) -> None:
     merged = {
         key: value
         for key, value in existing.items()
-        if key.startswith(preserve_prefix)
+        if key.startswith(preserve)
     }
     merged.update(update)
     record_trajectory("fig3", merged)
@@ -121,7 +121,7 @@ def fig3_fig4(clients=None) -> tuple[FigureResult, FigureResult]:
             f"peak_kiops_{name}": round(fig3.peak(name) / 1000.0, 2)
             for name in fig3.series
         },
-        preserve_prefix="freshness_",
+        preserve=("freshness_", "policy_"),
     )
     return fig3, fig4
 
@@ -222,7 +222,7 @@ def freshness_overhead(
         "freshness_pins": authority.pins,
         "freshness_epoch": authority.epoch,
     }
-    _record_fig3(result, preserve_prefix="peak_kiops_")
+    _record_fig3(result, preserve=("peak_kiops_", "policy_"))
     return result
 
 

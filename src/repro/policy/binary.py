@@ -104,6 +104,11 @@ class CompiledPolicy:
     source: str = ""
 
     _blob_cache: bytes | None = field(default=None, repr=False, compare=False)
+    _hash_cache: str | None = field(default=None, repr=False, compare=False)
+    #: Memoized closure compilation (:mod:`repro.policy.compiled`).
+    #: Living on the instance ties its lifetime to the policy-cache
+    #: entry: LFU eviction drops the compiled form with the policy.
+    _fast_cache: object | None = field(default=None, repr=False, compare=False)
 
     def to_bytes(self) -> bytes:
         """Serialize; cached because the policy id hashes this blob."""
@@ -156,8 +161,15 @@ class CompiledPolicy:
         return policy
 
     def policy_hash(self) -> str:
-        """Content-addressed identity of this policy."""
-        return hashlib.sha256(self.to_bytes()).hexdigest()
+        """Content-addressed identity of this policy.
+
+        Memoized: the hash is consulted on every audited decision (and
+        by the decision cache), so recomputing SHA-256 over the blob
+        per check would put hashing back on the hot path.
+        """
+        if self._hash_cache is None:
+            self._hash_cache = hashlib.sha256(self.to_bytes()).hexdigest()
+        return self._hash_cache
 
     def size_bytes(self) -> int:
         return len(self.to_bytes())

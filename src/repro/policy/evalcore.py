@@ -69,10 +69,20 @@ def compare_or_set(arg, value: Value, bindings: Bindings) -> bool:
 
     ``arg`` is an evaluated argument (a Value, Unbound, or
     TuplePattern); ``value`` is what the predicate observed.
+
+    ``arg`` was evaluated *before* the predicate ran, so a slot that
+    looked unbound then may have been bound since — by an earlier
+    argument of the same predicate (``objSize(O, X, X)``) or by the
+    implementation itself (version resolution).  Re-look it up and
+    compare against the live binding instead of double-binding into a
+    structural :class:`EvalError`.
     """
     if isinstance(arg, Unbound):
-        bindings.bind(arg.slot, value)
-        return True
+        current = bindings.lookup(arg.slot)
+        if isinstance(current, Unbound):
+            bindings.bind(arg.slot, value)
+            return True
+        return current == value
     if isinstance(arg, TuplePattern):
         if not isinstance(value, TupleValue):
             return False
@@ -81,28 +91,30 @@ def compare_or_set(arg, value: Value, bindings: Bindings) -> bool:
 
 
 def unify_tuple(pattern, actual: TupleValue, bindings: Bindings) -> bool:
-    """Unify a (possibly partial) tuple pattern with an actual tuple."""
+    """Unify a (possibly partial) tuple pattern with an actual tuple.
+
+    Two-phase: every element — including elements of *nested* tuple
+    patterns — is checked first, staging unbound slots through one
+    shared ``pending`` list, so a failed match leaves no partial
+    bindings behind and a slot repeated anywhere in the pattern is
+    compared against its first occurrence instead of double-binding.
+    """
     if isinstance(pattern, TupleValue):
         return pattern == actual
     if not isinstance(pattern, TuplePattern):
         raise EvalError(f"cannot unify {pattern!r} with a tuple")
-    if pattern.name != actual.name or len(pattern.elems) != len(actual.args):
-        return False
-    # Two-phase: check all comparable elements first so a failed match
-    # leaves no partial bindings behind.
     pending: list[tuple[Unbound, Value]] = []
-    for element, actual_value in zip(pattern.elems, actual.args):
-        if isinstance(element, Unbound):
-            pending.append((element, actual_value))
-        elif isinstance(element, TuplePattern):
-            if not isinstance(actual_value, TupleValue):
-                return False
-            if not unify_tuple(element, actual_value, bindings):
-                return False
-        elif element != actual_value:
-            return False
+    if not _match_elements(pattern, actual, pending):
+        return False
     seen: dict[int, Value] = {}
     for unbound, actual_value in pending:
+        current = bindings.lookup(unbound.slot)
+        if not isinstance(current, Unbound):
+            # Bound since the pattern was built (e.g. by the predicate
+            # implementation between argument evaluation and unify).
+            if current != actual_value:
+                return False
+            continue
         if unbound.slot in seen:
             if seen[unbound.slot] != actual_value:
                 return False
@@ -110,6 +122,27 @@ def unify_tuple(pattern, actual: TupleValue, bindings: Bindings) -> bool:
         seen[unbound.slot] = actual_value
     for slot, actual_value in seen.items():
         bindings.bind(slot, actual_value)
+    return True
+
+
+def _match_elements(
+    pattern: TuplePattern,
+    actual: TupleValue,
+    pending: list,
+) -> bool:
+    """Phase 1 of :func:`unify_tuple`: structural match, no binding."""
+    if pattern.name != actual.name or len(pattern.elems) != len(actual.args):
+        return False
+    for element, actual_value in zip(pattern.elems, actual.args):
+        if isinstance(element, Unbound):
+            pending.append((element, actual_value))
+        elif isinstance(element, TuplePattern):
+            if not isinstance(actual_value, TupleValue):
+                return False
+            if not _match_elements(element, actual_value, pending):
+                return False
+        elif element != actual_value:
+            return False
     return True
 
 

@@ -1,0 +1,185 @@
+"""Controller integration for the compiled policy fast path.
+
+The fast path (``ControllerConfig.compile_policies``, default on) must
+be invisible everywhere except throughput: responses, denial mapping,
+and the tamper-evident audit chain are byte-identical to the
+interpreter-only controller, and mutations invalidate cached
+decisions before the next check can observe stale state.
+"""
+
+from repro.core.controller import ControllerConfig, PesosController
+from repro.core.request import Request, build_http_request, parse_http_response
+from repro.core.webserver import WebServer
+from tests.core.conftest import ADMIN, ALICE, BOB, make_clients
+
+
+def _controller(compile_policies: bool) -> PesosController:
+    clients, _cluster = make_clients()
+    config = ControllerConfig(
+        compile_policies=compile_policies, audit_log_size=64
+    )
+    return PesosController(clients, storage_key=b"k" * 32, config=config)
+
+
+def _scripted_run(controller: PesosController) -> list:
+    """A fixed request mix: grants, denials, policy swap, delete."""
+    outcomes = []
+
+    def note(response):
+        outcomes.append((response.status, response.error, response.value))
+
+    acl = controller.put_policy(
+        ALICE,
+        f"read :- sessionKeyIs(k'{ALICE}') \\/ sessionKeyIs(k'{BOB}')\n"
+        f"update :- sessionKeyIs(k'{ALICE}')\n"
+        f"delete :- sessionKeyIs(k'{ADMIN}')",
+    ).policy_id
+    note(controller.put(ALICE, "doc", b"v0", policy_id=acl))
+    for _ in range(3):  # repeats exercise the decision cache
+        note(controller.get(ALICE, "doc"))
+        note(controller.get(BOB, "doc"))
+    note(controller.put(BOB, "doc", b"evil"))  # denied
+    note(controller.get("fp-mallory", "doc"))  # denied
+    stricter = controller.put_policy(
+        ALICE,
+        f"read :- sessionKeyIs(k'{ALICE}')\n"
+        f"update :- sessionKeyIs(k'{ALICE}')",
+    ).policy_id
+    note(controller.put(ALICE, "doc", b"v1", policy_id=stricter))
+    note(controller.get(BOB, "doc"))  # now denied
+    note(controller.get(ALICE, "doc"))
+    note(controller.delete(ADMIN, "doc"))  # old policy no longer applies
+    return outcomes
+
+
+def test_fast_path_is_response_and_audit_identical():
+    fast = _controller(compile_policies=True)
+    slow = _controller(compile_policies=False)
+    assert fast.policy_engine is not None
+    assert slow.policy_engine is None
+    assert _scripted_run(fast) == _scripted_run(slow)
+    # Same decisions, same clause paths, same chained digests: the
+    # audit-compatibility guarantee, end to end.
+    assert len(fast.auditor.log) == len(slow.auditor.log)
+    assert len(fast.auditor.log) > 0
+    assert fast.auditor.log.head == slow.auditor.log.head
+
+
+def test_repeat_reads_hit_the_decision_cache():
+    controller = _controller(compile_policies=True)
+    acl = controller.put_policy(
+        ALICE,
+        f"read :- sessionKeyIs(k'{ALICE}')\n"
+        f"update :- sessionKeyIs(k'{ALICE}')",
+    ).policy_id
+    controller.put(ALICE, "doc", b"v", policy_id=acl)
+    for _ in range(4):
+        assert controller.get(ALICE, "doc").ok
+    stats = controller.policy_engine.decisions.stats
+    assert stats.hits >= 3
+
+
+def test_mutations_advance_the_decision_epoch():
+    controller = _controller(compile_policies=True)
+    acl = controller.put_policy(
+        ALICE,
+        f"read :- sessionKeyIs(k'{ALICE}')\n"
+        f"update :- sessionKeyIs(k'{ALICE}')",
+    ).policy_id
+    epoch0 = controller.policy_engine.decisions.epoch
+    controller.put(ALICE, "doc", b"v0", policy_id=acl)
+    assert controller.policy_engine.decisions.epoch > epoch0
+    controller.get(ALICE, "doc")
+    before = controller.policy_engine.decisions.epoch
+    controller.put(ALICE, "doc", b"v1")
+    assert controller.policy_engine.decisions.epoch > before
+    assert len(controller.policy_engine.decisions) == 0
+
+
+def test_policy_swap_is_never_served_stale():
+    controller = _controller(compile_policies=True)
+    permissive = controller.put_policy(
+        ALICE,
+        f"read :- sessionKeyIs(k'{ALICE}') \\/ sessionKeyIs(k'{BOB}')\n"
+        f"update :- sessionKeyIs(k'{ALICE}')",
+    ).policy_id
+    controller.put(ALICE, "doc", b"v0", policy_id=permissive)
+    for _ in range(3):
+        assert controller.get(BOB, "doc").ok  # warm the cache
+    stricter = controller.put_policy(
+        ALICE,
+        f"read :- sessionKeyIs(k'{ALICE}')\n"
+        f"update :- sessionKeyIs(k'{ALICE}')",
+    ).policy_id
+    controller.put(ALICE, "doc", b"v1", policy_id=stricter)
+    assert controller.get(BOB, "doc").status == 403
+    assert controller.get(ALICE, "doc").ok
+
+
+def test_handle_batch_prewarms_and_answers_identically():
+    fast = _controller(compile_policies=True)
+    slow = _controller(compile_policies=False)
+    fingerprints = [ALICE, BOB, "fp-carol"]
+    batch = []
+    for controller in (fast, slow):
+        acl = controller.put_policy(
+            ALICE,
+            "read :- "
+            + " \\/ ".join(f"sessionKeyIs(k'{fp}')" for fp in fingerprints)
+            + f"\nupdate :- sessionKeyIs(k'{ALICE}')",
+        ).policy_id
+        controller.put(ALICE, "doc", b"payload", policy_id=acl)
+        for fp in fingerprints:  # establish sessions
+            controller.get(fp, "doc")
+    for fp in fingerprints * 2:
+        batch.append(
+            (build_http_request(Request(method="get", key="doc")), fp)
+        )
+    batch.append(
+        (build_http_request(Request(method="get", key="doc")), "fp-mallory")
+    )
+    fast_out = WebServer(fast).handle_batch(list(batch), now=1.0)
+    slow_out = WebServer(slow).handle_batch(list(batch), now=1.0)
+    fast_parsed = [parse_http_response(raw) for raw in fast_out]
+    slow_parsed = [parse_http_response(raw) for raw in slow_out]
+    assert [(r.status, r.value) for r in fast_parsed] == [
+        (r.status, r.value) for r in slow_parsed
+    ]
+    assert all(r.status == 200 for r in fast_parsed[:-1])
+    assert fast_parsed[-1].status == 403
+    # The batch grouped same-policy reads and seeded the cache, so the
+    # per-request path served hits.
+    assert fast.policy_engine.decisions.stats.hits >= len(fingerprints)
+
+
+def test_decision_cache_metrics_exported():
+    controller = _controller(compile_policies=True)
+    acl = controller.put_policy(
+        ALICE,
+        f"read :- sessionKeyIs(k'{ALICE}')\n"
+        f"update :- sessionKeyIs(k'{ALICE}')",
+    ).policy_id
+    controller.put(ALICE, "doc", b"v", policy_id=acl)
+    controller.get(ALICE, "doc")
+    controller.get(ALICE, "doc")
+    families = {
+        family.name: family for family in controller._derived_metrics()
+    }
+    family = families["pesos_policy_decision_cache_events_total"]
+    events = {
+        sample.labels["event"]: sample.value for sample in family.samples
+    }
+    assert events["hit"] >= 1
+    assert events["miss"] >= 1
+
+
+def test_fast_path_can_be_disabled():
+    controller = _controller(compile_policies=False)
+    acl = controller.put_policy(
+        ALICE,
+        f"read :- sessionKeyIs(k'{ALICE}')\n"
+        f"update :- sessionKeyIs(k'{ALICE}')",
+    ).policy_id
+    controller.put(ALICE, "doc", b"v", policy_id=acl)
+    assert controller.get(ALICE, "doc").ok
+    assert controller.get(BOB, "doc").status == 403
